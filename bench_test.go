@@ -1,0 +1,198 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the index), plus ablation
+// benchmarks for the design choices the paper motivates. Each benchmark
+// regenerates its artifact and reports the headline numbers as custom
+// benchmark metrics, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation and records paper-vs-measured data in one run.
+//
+// Benchmarks share a lazily-warmed Lab: profiling runs, analysis builds and
+// headline simulations are computed once and reused, so per-benchmark time
+// reflects the work unique to that experiment.
+package ispy_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ispy/internal/core"
+	"ispy/internal/experiments"
+	"ispy/internal/metrics"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+)
+
+// benchLab uses moderately reduced budgets so the full suite completes in
+// minutes while keeping all nine applications.
+func benchLab() *experiments.Lab {
+	labOnce.Do(func() {
+		lab = experiments.NewLab(experiments.Config{
+			Apps:          workload.AppNames,
+			MeasureInstrs: 1_000_000,
+			WarmupInstrs:  250_000,
+			SweepInstrs:   400_000,
+			SweepWarmup:   100_000,
+			Parallel:      true,
+		})
+	})
+	return lab
+}
+
+// runExperiment executes the experiment once per benchmark iteration and
+// surfaces its measured headline as a log line on the first iteration.
+func runExperiment(b *testing.B, id string) {
+	spec, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	l := benchLab()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = spec.Run(l)
+	}
+	if res != nil {
+		b.Logf("%s: %s", id, res.Measured)
+	}
+}
+
+func BenchmarkTable1SystemConfig(b *testing.B)        { runExperiment(b, "table1") }
+func BenchmarkFig1FrontendBound(b *testing.B)         { runExperiment(b, "fig1") }
+func BenchmarkFig3FanoutTradeoff(b *testing.B)        { runExperiment(b, "fig3") }
+func BenchmarkFig4AsmDBFootprint(b *testing.B)        { runExperiment(b, "fig4") }
+func BenchmarkFig5WindowPrefetch(b *testing.B)        { runExperiment(b, "fig5") }
+func BenchmarkFig10Speedup(b *testing.B)              { runExperiment(b, "fig10") }
+func BenchmarkFig11MPKI(b *testing.B)                 { runExperiment(b, "fig11") }
+func BenchmarkFig12Ablation(b *testing.B)             { runExperiment(b, "fig12") }
+func BenchmarkFig13Accuracy(b *testing.B)             { runExperiment(b, "fig13") }
+func BenchmarkFig14StaticFootprint(b *testing.B)      { runExperiment(b, "fig14") }
+func BenchmarkFig15DynamicFootprint(b *testing.B)     { runExperiment(b, "fig15") }
+func BenchmarkFig16InputGeneralization(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkFig17ContextPredecessors(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFig18PrefetchDistance(b *testing.B)     { runExperiment(b, "fig18") }
+func BenchmarkFig19CoalescingSize(b *testing.B)       { runExperiment(b, "fig19") }
+func BenchmarkFig20CoalesceDistribution(b *testing.B) { runExperiment(b, "fig20") }
+func BenchmarkFig21ContextHashSize(b *testing.B)      { runExperiment(b, "fig21") }
+
+// BenchmarkAblationInsertPriority quantifies §III-B's replacement-policy
+// choice: prefetched lines inserted at half priority vs at MRU (like demand
+// loads). The half-priority speedup advantage is reported as a metric.
+func BenchmarkAblationInsertPriority(b *testing.B) {
+	l := benchLab()
+	a := l.App("wordpress")
+	base := a.Base()
+	build := a.ISPY()
+
+	var halfCycles, mruCycles uint64
+	for i := 0; i < b.N; i++ {
+		cfgHalf := a.SimCfg()
+		half := a.Run(build.Prog, cfgHalf)
+		cfgMRU := a.SimCfg()
+		cfgMRU.Hier.PrefetchAtMRU = true
+		mru := a.Run(build.Prog, cfgMRU)
+		halfCycles, mruCycles = half.Cycles, mru.Cycles
+	}
+	b.ReportMetric(metrics.SpeedupPct(base.Cycles, halfCycles), "half-speedup-%")
+	b.ReportMetric(metrics.SpeedupPct(base.Cycles, mruCycles), "mru-speedup-%")
+}
+
+// BenchmarkAblationConditionalOnly and ...CoalescingOnly time the two
+// technique-isolated variants (the builds behind Fig. 12) on one app.
+func BenchmarkAblationConditionalOnly(b *testing.B) {
+	l := benchLab()
+	a := l.App("wordpress")
+	opt := core.DefaultOptions()
+	opt.Coalesce = false
+	var st *sim.Stats
+	for i := 0; i < b.N; i++ {
+		_, st = a.ISPYVariant(opt, a.SimCfg())
+	}
+	b.ReportMetric(metrics.SpeedupPct(a.Base().Cycles, st.Cycles), "speedup-%")
+}
+
+func BenchmarkAblationCoalescingOnly(b *testing.B) {
+	l := benchLab()
+	a := l.App("wordpress")
+	opt := core.DefaultOptions()
+	opt.Conditional = false
+	var st *sim.Stats
+	for i := 0; i < b.N; i++ {
+		_, st = a.ISPYVariant(opt, a.SimCfg())
+	}
+	b.ReportMetric(metrics.SpeedupPct(a.Base().Cycles, st.Cycles), "speedup-%")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (workload
+// instructions per second), the figure of merit for the substrate itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w := workload.Preset("wordpress")
+	cfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	cfg.MaxInstrs = 1_000_000
+	cfg.WarmupInstrs = 0
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		st := sim.Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+		instrs = st.BaseInstrs
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkAnalysisPipeline times the offline analysis alone (profile in
+// hand → injected binary), the cost a build system would pay.
+func BenchmarkAnalysisPipeline(b *testing.B) {
+	l := benchLab()
+	a := l.App("wordpress")
+	prof := a.Profile()
+	prep := a.Prepared()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build := core.BuildFromPrepared(prof, prep, core.DefaultOptions())
+		if build.Prog.TextSize == 0 {
+			b.Fatal("empty build")
+		}
+	}
+}
+
+// TestBenchmarkNamesMatchDesignDoc keeps DESIGN.md's per-experiment index
+// honest: every fig/table has a same-named benchmark in this file.
+func TestBenchmarkNamesMatchDesignDoc(t *testing.T) {
+	for _, s := range experiments.All() {
+		id := s.ID
+		found := false
+		for _, name := range benchNames {
+			if strings.Contains(strings.ToLower(name), strings.ToLower(id)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s has no benchmark", id)
+		}
+	}
+}
+
+var benchNames = []string{
+	"BenchmarkTable1SystemConfig",
+	"BenchmarkFig1FrontendBound",
+	"BenchmarkFig3FanoutTradeoff",
+	"BenchmarkFig4AsmDBFootprint",
+	"BenchmarkFig5WindowPrefetch",
+	"BenchmarkFig10Speedup",
+	"BenchmarkFig11MPKI",
+	"BenchmarkFig12Ablation",
+	"BenchmarkFig13Accuracy",
+	"BenchmarkFig14StaticFootprint",
+	"BenchmarkFig15DynamicFootprint",
+	"BenchmarkFig16InputGeneralization",
+	"BenchmarkFig17ContextPredecessors",
+	"BenchmarkFig18PrefetchDistance",
+	"BenchmarkFig19CoalescingSize",
+	"BenchmarkFig20CoalesceDistribution",
+	"BenchmarkFig21ContextHashSize",
+}

@@ -1,0 +1,214 @@
+// ispy is the experiment harness CLI: it regenerates the tables and figures
+// of "I-SPY: Context-Driven Conditional Instruction Prefetching with
+// Coalescing" (MICRO 2020) on the synthetic-workload simulator.
+//
+// Usage:
+//
+//	ispy list                 list all experiments
+//	ispy run <id> [<id>...]   run experiments (e.g. fig10 fig11)
+//	ispy all                  run every experiment
+//	ispy sweep <knob>         sensitivity sweep: preds|coalesce|hash|mindist|maxdist
+//	ispy apps                 describe the nine application workloads
+//
+// Flags:
+//
+//	-quick        reduced instruction budgets and app set (for smoke runs)
+//	-apps a,b,c   restrict to specific applications
+//	-instrs N     measured workload instructions per run
+//	-seq          disable parallelism (deterministic ordering of log lines)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ispy/internal/core"
+	"ispy/internal/experiments"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+// simStats aliases the simulator statistics for the sweep helper.
+type simStats = sim.Stats
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced budgets and app set")
+	apps := flag.String("apps", "", "comma-separated app subset")
+	instrs := flag.Uint64("instrs", 0, "measured workload instructions per run")
+	seq := flag.Bool("seq", false, "disable parallel per-app work")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *apps != "" {
+		cfg.Apps = strings.Split(*apps, ",")
+	}
+	if *instrs != 0 {
+		cfg.MeasureInstrs = *instrs
+		if s := *instrs / 2; s > 0 {
+			cfg.SweepInstrs = s
+		}
+	}
+	if *seq {
+		cfg.Parallel = false
+	}
+	lab := experiments.NewLab(cfg)
+	if err := lab.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	switch args[0] {
+	case "list":
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Title)
+		}
+	case "apps":
+		describeApps()
+	case "all":
+		ids := make([]string, 0)
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ID)
+		}
+		runExperiments(lab, ids)
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "ispy run: need at least one experiment id (see `ispy list`)")
+			os.Exit(2)
+		}
+		runExperiments(lab, args[1:])
+	case "sweep":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "ispy sweep: need a knob: preds|coalesce|hash|mindist|maxdist")
+			os.Exit(2)
+		}
+		runSweep(lab, args[1])
+	default:
+		fmt.Fprintf(os.Stderr, "ispy: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runExperiments(lab *experiments.Lab, ids []string) {
+	for _, id := range ids {
+		spec, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ispy: unknown experiment %q (see `ispy list`)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		res := spec.Run(lab)
+		fmt.Println(res.String())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(t0).Seconds())
+	}
+}
+
+// runSweep exposes the sensitivity knobs generically: it reuses each app's
+// cached analysis intermediates and prints the mean %-of-ideal per setting.
+func runSweep(lab *experiments.Lab, knob string) {
+	type setting struct {
+		label string
+		opt   func() core.Options
+		fresh bool // window knobs invalidate the cached contexts
+	}
+	mk := func(f func(*core.Options)) func() core.Options {
+		return func() core.Options {
+			o := core.DefaultOptions()
+			f(&o)
+			return o
+		}
+	}
+	var settings []setting
+	switch knob {
+	case "preds":
+		for _, k := range []int{1, 2, 4, 8, 16, 32} {
+			k := k
+			settings = append(settings, setting{fmt.Sprintf("preds=%d", k), mk(func(o *core.Options) { o.MaxPreds = k }), false})
+		}
+	case "coalesce":
+		for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
+			b := b
+			settings = append(settings, setting{fmt.Sprintf("bits=%d", b), mk(func(o *core.Options) { o.CoalesceBits = b }), false})
+		}
+	case "hash":
+		for _, b := range []int{4, 8, 16, 32, 64} {
+			b := b
+			settings = append(settings, setting{fmt.Sprintf("hash=%d", b), mk(func(o *core.Options) { o.HashBits = b }), false})
+		}
+	case "mindist":
+		for _, d := range []uint64{5, 10, 20, 27, 50, 100} {
+			d := d
+			settings = append(settings, setting{fmt.Sprintf("min=%d", d), mk(func(o *core.Options) { o.MinDistCycles = d }), true})
+		}
+	case "maxdist":
+		for _, d := range []uint64{50, 100, 200, 300, 400} {
+			d := d
+			settings = append(settings, setting{fmt.Sprintf("max=%d", d), mk(func(o *core.Options) { o.MaxDistCycles = d }), true})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ispy sweep: unknown knob %q\n", knob)
+		os.Exit(2)
+	}
+	for _, s := range settings {
+		var sum float64
+		for _, name := range lab.Cfg.Apps {
+			a := lab.App(name)
+			base, ideal := a.Base(), a.Ideal()
+			var st *simStats
+			if s.fresh {
+				b := core.BuildISPY(a.Profile(), a.SweepCfg(), s.opt())
+				st = a.Run(b.Prog, a.SweepCfg())
+			} else {
+				_, st = a.ISPYVariant(s.opt(), a.SweepCfg())
+			}
+			idealGain := float64(base.Cycles)/float64(ideal.Cycles) - 1
+			scale := float64(st.BaseInstrs) / float64(base.BaseInstrs)
+			gain := float64(base.Cycles)*scale/float64(st.Cycles) - 1
+			if idealGain > 0 {
+				sum += gain / idealGain * 100
+			}
+		}
+		fmt.Printf("%-12s %6.1f%% of ideal (mean over %d apps)\n", s.label, sum/float64(len(lab.Cfg.Apps)), len(lab.Cfg.Apps))
+	}
+}
+
+func describeApps() {
+	fmt.Printf("%-16s %9s %8s %7s %7s %7s\n", "app", "text", "blocks", "funcs", "types", "engine")
+	for _, name := range workload.AppNames {
+		w := workload.Preset(name)
+		engine := "-"
+		if w.Params.EngineSlots > 0 {
+			engine = fmt.Sprintf("%d slots", w.Params.EngineSlots)
+		}
+		fmt.Printf("%-16s %8.0fKB %8d %7d %7d %7s\n",
+			name, float64(w.Prog.TextSize)/1024, len(w.Prog.Blocks), len(w.Prog.Funcs), w.NumTypes, engine)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ispy — reproduction harness for I-SPY (MICRO 2020)
+
+usage:
+  ispy [flags] list
+  ispy [flags] apps
+  ispy [flags] run <experiment-id>...
+  ispy [flags] sweep {preds|coalesce|hash|mindist|maxdist}
+  ispy [flags] all
+
+flags:
+`)
+	flag.PrintDefaults()
+}

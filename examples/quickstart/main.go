@@ -1,0 +1,64 @@
+// Quickstart: the I-SPY usage model (paper Fig. 9) end to end on one
+// synthetic application, using the public pipeline:
+//
+//  1. generate a workload          (workload.Preset)
+//  2. profile it online            (profile.Collect — LBR + PEBS analogue)
+//  3. run the offline analysis     (core.BuildISPY — sites, contexts,
+//     coalescing, injection)
+//  4. deploy and measure           (sim.Run on the injected program)
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/metrics"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+func main() {
+	// 1. A wordpress-like request-processing service whose instruction
+	// footprint far exceeds the 32 KiB L1 I-cache.
+	w := workload.Preset("wordpress")
+	fmt.Printf("workload %q: %d KB text, %d blocks, %d request types\n",
+		w.Name, w.Prog.TextSize>>10, len(w.Prog.Blocks), w.NumTypes)
+
+	scfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+
+	// Baseline and ideal-cache bounds.
+	run := func(p *isa.Program, ideal bool) *sim.Stats {
+		c := scfg
+		c.Ideal = ideal
+		return sim.Run(p, workload.NewExecutor(w, workload.DefaultInput(w)), c, nil)
+	}
+	base := run(w.Prog, false)
+	ideal := run(w.Prog, true)
+	fmt.Printf("baseline:  %.2f MPKI, %.1f%% frontend-bound\n", base.MPKI(), base.FrontendBoundFrac()*100)
+	fmt.Printf("ideal:     +%.1f%% speedup available\n", metrics.SpeedupPct(base.Cycles, ideal.Cycles))
+
+	// 2. Online profiling (Fig. 9 step 1).
+	prof := profile.Collect(w, workload.DefaultInput(w), scfg)
+	fmt.Printf("profile:   %d misses over %d lines, hash density %.2f\n",
+		prof.Graph.TotalMisses, len(prof.Graph.Sites), prof.AvgHashDensity)
+
+	// 3. Offline analysis + injection (Fig. 9 steps 2–3).
+	build := core.BuildISPY(prof, scfg, core.DefaultOptions())
+	kinds := build.Plan.KindCounts()
+	fmt.Printf("injection: %d Prefetch, %d Cprefetch, %d Lprefetch, %d CLprefetch (+%.1f%% static)\n",
+		kinds[isa.KindPrefetch], kinds[isa.KindCprefetch],
+		kinds[isa.KindLprefetch], kinds[isa.KindCLprefetch],
+		build.StaticIncrease(w.Prog)*100)
+
+	// 4. Deploy.
+	st := run(build.Prog, false)
+	fmt.Printf("I-SPY:     +%.1f%% speedup (%.1f%% of ideal), %.2f MPKI (%.1f%% reduction), %.1f%% prefetch accuracy\n",
+		metrics.SpeedupPct(base.Cycles, st.Cycles),
+		metrics.PctOfIdeal(base.Cycles, st.Cycles, ideal.Cycles),
+		st.MPKI(), metrics.Reduction(base.MPKI(), st.MPKI()),
+		st.PrefetchAccuracy()*100)
+}

@@ -1,0 +1,81 @@
+// Tuning: sweep I-SPY's three main hardware/analysis knobs on one
+// application, mirroring the paper's sensitivity analysis (§VI-B):
+//
+//   - context size (predecessors per condition, Fig. 17)
+//   - coalescing bit-vector width (Fig. 19)
+//   - context-hash width (Fig. 21: false positives vs code size)
+//
+// Useful as a template for retuning I-SPY to a different cache hierarchy.
+//
+// Run with: go run ./examples/tuning [app]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ispy/internal/core"
+	"ispy/internal/metrics"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+func main() {
+	app := "wordpress"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	w := workload.Preset(app)
+	scfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+
+	base := sim.Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), scfg, nil)
+	idealCfg := scfg
+	idealCfg.Ideal = true
+	ideal := sim.Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), idealCfg, nil)
+
+	prof := profile.Collect(w, workload.DefaultInput(w), scfg)
+	// The expensive intermediates (site selection + context labeling) are
+	// computed once and reused across sweep points.
+	prep := core.Prepare(prof, scfg, core.DefaultOptions())
+
+	eval := func(opt core.Options) (*core.Build, *sim.Stats) {
+		b := core.BuildFromPrepared(prof, prep, opt)
+		c := scfg
+		if opt.HashBits != 0 {
+			c.HashBits = opt.HashBits
+		}
+		return b, sim.Run(b.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), c, nil)
+	}
+
+	fmt.Printf("tuning %q (ideal headroom: +%.1f%%)\n", app, metrics.SpeedupPct(base.Cycles, ideal.Cycles))
+
+	fmt.Println("\ncontext size (predecessors per condition):")
+	for _, k := range []int{1, 2, 4, 8} {
+		opt := core.DefaultOptions()
+		opt.MaxPreds = k
+		_, st := eval(opt)
+		fmt.Printf("  %2d preds: %5.1f%% of ideal, FP rate %4.1f%%\n",
+			k, metrics.PctOfIdeal(base.Cycles, st.Cycles, ideal.Cycles),
+			st.CondFalsePositiveRate()*100)
+	}
+
+	fmt.Println("\ncoalescing bit-vector width:")
+	for _, bits := range []int{1, 4, 8, 16, 32} {
+		opt := core.DefaultOptions()
+		opt.CoalesceBits = bits
+		b, st := eval(opt)
+		_, n := b.Prog.PrefetchBytes()
+		fmt.Printf("  %2d bits: %5.1f%% of ideal, %4d injected instructions\n",
+			bits, metrics.PctOfIdeal(base.Cycles, st.Cycles, ideal.Cycles), n)
+	}
+
+	fmt.Println("\ncontext-hash width:")
+	for _, bits := range []int{8, 16, 32, 64} {
+		opt := core.DefaultOptions()
+		opt.HashBits = bits
+		b, st := eval(opt)
+		fmt.Printf("  %2d bits: FP rate %5.1f%%, static footprint +%.1f%%\n",
+			bits, st.CondFalsePositiveRate()*100, b.StaticIncrease(w.Prog)*100)
+	}
+}

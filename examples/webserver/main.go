@@ -1,0 +1,88 @@
+// Webserver: the scenario from the paper's introduction — a data-center
+// request-processing service suffering frontend stalls — evaluated under
+// four instruction-supply strategies:
+//
+//   - no prefetching (baseline)
+//   - a next-line hardware prefetcher (the classic industrial design, §VIII)
+//   - AsmDB, the state-of-the-art software prefetcher (Ayers et al.)
+//   - I-SPY, conditional prefetching + coalescing
+//
+// The example prints a metric panel per strategy and a short explanation of
+// where each one loses.
+//
+// Run with: go run ./examples/webserver [app]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ispy/internal/asmdb"
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/metrics"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+func main() {
+	app := "finagle-http"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	w := workload.Preset(app)
+	scfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	in := workload.DefaultInput(w)
+
+	run := func(p *isa.Program, c sim.Config) *sim.Stats {
+		return sim.Run(p, workload.NewExecutor(w, in), c, nil)
+	}
+
+	base := run(w.Prog, scfg)
+	idealCfg := scfg
+	idealCfg.Ideal = true
+	ideal := run(w.Prog, idealCfg)
+
+	prof := profile.Collect(w, in, scfg)
+	nextline := run(w.Prog, asmdb.NextLineConfig(scfg))
+	adb := asmdb.BuildDefault(prof, core.DefaultOptions())
+	adbStats := run(adb.Prog, scfg)
+	ispy := core.BuildISPY(prof, scfg, core.DefaultOptions())
+	ispyStats := run(ispy.Prog, scfg)
+
+	fmt.Printf("service %q — %d KB of code, %d request types, %.1f%% frontend-bound\n\n",
+		app, w.Prog.TextSize>>10, w.NumTypes, base.FrontendBoundFrac()*100)
+	fmt.Printf("%-12s %9s %9s %11s %10s %9s\n",
+		"strategy", "speedup", "% ideal", "L1I MPKI", "accuracy", "dyn cost")
+	row := func(name string, st *sim.Stats, acc bool) {
+		accs := "-"
+		if acc {
+			accs = fmt.Sprintf("%.1f%%", st.PrefetchAccuracy()*100)
+		}
+		fmt.Printf("%-12s %8.1f%% %8.1f%% %11.2f %10s %8.1f%%\n",
+			name,
+			metrics.SpeedupPct(base.Cycles, st.Cycles),
+			metrics.PctOfIdeal(base.Cycles, st.Cycles, ideal.Cycles),
+			st.MPKI(), accs, st.DynFootprintIncrease()*100)
+	}
+	row("baseline", base, false)
+	row("next-line", nextline, true)
+	row("asmdb", adbStats, true)
+	row("i-spy", ispyStats, true)
+	row("ideal", ideal, false)
+
+	fmt.Println()
+	fmt.Printf("next-line covers only sequential fetch; branchy request code defeats it.\n")
+	fmt.Printf("asmdb covers %.0f%% of profiled miss mass but prefetches unconditionally\n",
+		float64(adb.Plan.MissesPlanned)/float64(adb.Plan.MissesTotal)*100)
+	fmt.Printf("  (fan-out > %.0f%% misses stay uncovered; shared-site prefetches pollute).\n",
+		asmdb.DefaultFanoutThreshold*100)
+	kc := ispy.Plan.KindCounts()
+	fmt.Printf("i-spy covers %.0f%% with %d conditional and %d coalesced instructions,\n",
+		float64(ispy.Plan.MissesPlanned)/float64(ispy.Plan.MissesTotal)*100,
+		kc[isa.KindCprefetch]+kc[isa.KindCLprefetch],
+		kc[isa.KindLprefetch]+kc[isa.KindCLprefetch])
+	fmt.Printf("  suppressing %d of %d conditional executions whose context was absent.\n",
+		ispyStats.CondSuppressed, ispyStats.CondExecuted)
+}

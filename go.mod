@@ -1,0 +1,3 @@
+module ispy
+
+go 1.22

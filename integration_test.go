@@ -1,0 +1,196 @@
+// End-to-end invariants of the full pipeline, checked across applications.
+package ispy_test
+
+import (
+	"testing"
+
+	"ispy/internal/asmdb"
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+func integrationCfg(w *workload.Workload) sim.Config {
+	c := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	// Steady-state regime: with a short warmup the L2 is still cold and an
+	// aggressive spray prefetcher doubles as an L2 warmer, inverting the
+	// steady-state comparison the paper (and our headline experiments)
+	// measure. Warm long enough that the L2 holds the live text.
+	c.MaxInstrs = 1_200_000
+	c.WarmupInstrs = 300_000
+	return c
+}
+
+// TestInjectionPreservesControlFlow: injecting prefetches must not change
+// the workload's dynamic behavior — the executor's block stream and request
+// mix are independent of the injected program, and the injected run retires
+// exactly the same workload instructions.
+func TestInjectionPreservesControlFlow(t *testing.T) {
+	for _, name := range []string{"tomcat", "verilator"} {
+		w := workload.Preset(name)
+		cfg := integrationCfg(w)
+		prof := profile.Collect(w, workload.DefaultInput(w), cfg)
+		build := core.BuildISPY(prof, cfg, core.DefaultOptions())
+
+		exA := workload.NewExecutor(w, workload.DefaultInput(w))
+		exB := workload.NewExecutor(w, workload.DefaultInput(w))
+		stA := sim.Run(w.Prog, exA, cfg, nil)
+		stB := sim.Run(build.Prog, exB, cfg, nil)
+
+		if stA.BaseInstrs != stB.BaseInstrs {
+			t.Errorf("%s: workload instruction counts differ: %d vs %d", name, stA.BaseInstrs, stB.BaseInstrs)
+		}
+		if exA.Requests != exB.Requests {
+			t.Errorf("%s: request counts differ: %d vs %d", name, exA.Requests, exB.Requests)
+		}
+		for ty := range exA.TypeCounts {
+			if exA.TypeCounts[ty] != exB.TypeCounts[ty] {
+				t.Fatalf("%s: request mix diverged at type %d", name, ty)
+			}
+		}
+	}
+}
+
+// TestPipelineOrdering: for every app at a reduced budget, the fundamental
+// ordering must hold — ideal ≤ I-SPY ≤ baseline cycles, and I-SPY's MPKI
+// strictly below baseline's.
+func TestPipelineOrdering(t *testing.T) {
+	for _, name := range workload.AppNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := workload.Preset(name)
+			cfg := integrationCfg(w)
+			base := sim.Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+			idealCfg := cfg
+			idealCfg.Ideal = true
+			ideal := sim.Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), idealCfg, nil)
+			prof := profile.Collect(w, workload.DefaultInput(w), cfg)
+			build := core.BuildISPY(prof, cfg, core.DefaultOptions())
+			st := sim.Run(build.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+
+			if !(ideal.Cycles <= st.Cycles && st.Cycles < base.Cycles) {
+				t.Errorf("cycle ordering violated: ideal=%d ispy=%d base=%d",
+					ideal.Cycles, st.Cycles, base.Cycles)
+			}
+			if st.MPKI() >= base.MPKI() {
+				t.Errorf("MPKI not reduced: %.2f vs %.2f", st.MPKI(), base.MPKI())
+			}
+		})
+	}
+}
+
+// TestISPYBeatsAsmDBOnCycles: the headline comparison holds per-app at
+// reduced budget (cycles, not just aggregates).
+func TestISPYBeatsAsmDBOnCycles(t *testing.T) {
+	for _, name := range []string{"wordpress", "drupal", "verilator"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := workload.Preset(name)
+			cfg := integrationCfg(w)
+			prof := profile.Collect(w, workload.DefaultInput(w), cfg)
+			adb := asmdb.BuildDefault(prof, core.DefaultOptions())
+			ispy := core.BuildISPY(prof, cfg, core.DefaultOptions())
+			adbSt := sim.Run(adb.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), asmdb.RunConfig(cfg), nil)
+			ispySt := sim.Run(ispy.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+			if ispySt.Cycles >= adbSt.Cycles {
+				t.Errorf("I-SPY (%d cycles) not faster than AsmDB (%d)", ispySt.Cycles, adbSt.Cycles)
+			}
+		})
+	}
+}
+
+// TestConditionalNoFalseNegativeEndToEnd: across a full run, a conditional
+// prefetch whose context blocks are all resident in the LBR must fire —
+// CondSuppressed events never coincide with a fully-present context. The
+// simulator counts CondFalseFires (fires with context absent); the dual
+// (suppressions with context present) is impossible by Bloom construction,
+// which we verify by asserting suppressed + fired == executed and the false
+// fires never exceed the fires.
+func TestConditionalAccountingConsistent(t *testing.T) {
+	w := workload.Preset("wordpress")
+	cfg := integrationCfg(w)
+	prof := profile.Collect(w, workload.DefaultInput(w), cfg)
+	build := core.BuildISPY(prof, cfg, core.DefaultOptions())
+	st := sim.Run(build.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+	if st.CondExecuted != st.CondFired+st.CondSuppressed {
+		t.Errorf("conditional accounting broken: %d != %d + %d",
+			st.CondExecuted, st.CondFired, st.CondSuppressed)
+	}
+	if st.CondFalseFires > st.CondFired {
+		t.Error("more false fires than fires")
+	}
+	if st.CondExecuted == 0 {
+		t.Error("no conditional prefetches executed on wordpress")
+	}
+}
+
+// TestStaticFootprintAccounting: the static-increase metric must equal the
+// byte delta between the injected and original programs (alignment aside).
+func TestStaticFootprintAccounting(t *testing.T) {
+	w := workload.Preset("tomcat")
+	cfg := integrationCfg(w)
+	prof := profile.Collect(w, workload.DefaultInput(w), cfg)
+	build := core.BuildISPY(prof, cfg, core.DefaultOptions())
+	pfBytes, _ := build.Prog.PrefetchBytes()
+	if got := build.Prog.StaticBytes() - w.Prog.StaticBytes(); got != pfBytes {
+		t.Errorf("static byte delta %d != injected prefetch bytes %d", got, pfBytes)
+	}
+	if build.StaticIncrease(w.Prog) <= 0 {
+		t.Error("static increase not positive")
+	}
+}
+
+// TestPlanCoverageAccounting: planned + uncovered miss mass must equal the
+// profiled total.
+func TestPlanCoverageAccounting(t *testing.T) {
+	w := workload.Preset("kafka")
+	cfg := integrationCfg(w)
+	prof := profile.Collect(w, workload.DefaultInput(w), cfg)
+	for _, variant := range []struct {
+		name string
+		b    *core.Build
+	}{
+		{"ispy", core.BuildISPY(prof, cfg, core.DefaultOptions())},
+		{"asmdb", asmdb.BuildDefault(prof, core.DefaultOptions())},
+	} {
+		p := variant.b.Plan
+		if p.MissesPlanned+p.MissesUncovered != p.MissesTotal {
+			t.Errorf("%s: %d planned + %d uncovered != %d total",
+				variant.name, p.MissesPlanned, p.MissesUncovered, p.MissesTotal)
+		}
+		if p.MissesTotal != prof.Graph.TotalMisses {
+			t.Errorf("%s: plan total %d != profile total %d",
+				variant.name, p.MissesTotal, prof.Graph.TotalMisses)
+		}
+	}
+}
+
+// TestInjectedKindsMatchOptions: ablation flags control which instruction
+// kinds can appear.
+func TestInjectedKindsMatchOptions(t *testing.T) {
+	w := workload.Preset("wordpress")
+	cfg := integrationCfg(w)
+	prof := profile.Collect(w, workload.DefaultInput(w), cfg)
+	prep := core.Prepare(prof, cfg, core.DefaultOptions())
+
+	noCond := core.DefaultOptions()
+	noCond.Conditional = false
+	b := core.BuildFromPrepared(prof, prep, noCond)
+	kinds := b.Prog.NumPrefetches()
+	if kinds[isa.KindCprefetch]+kinds[isa.KindCLprefetch] != 0 {
+		t.Error("Conditional=false still injected conditional kinds")
+	}
+
+	full := core.BuildFromPrepared(prof, prep, core.DefaultOptions())
+	fullKinds := full.Prog.NumPrefetches()
+	if fullKinds[isa.KindCprefetch]+fullKinds[isa.KindCLprefetch] == 0 {
+		t.Error("default build adopted no conditions on wordpress")
+	}
+	if fullKinds[isa.KindLprefetch]+fullKinds[isa.KindCLprefetch] == 0 {
+		t.Error("default build coalesced nothing on wordpress")
+	}
+}

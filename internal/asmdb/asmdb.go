@@ -1,0 +1,115 @@
+// Package asmdb implements the baselines I-SPY is compared against:
+//
+//   - AsmDB (Ayers et al., ISCA'19), the state-of-the-art profile-guided
+//     prefetcher of the paper's evaluation: unconditional single-line code
+//     prefetches injected at predecessors chosen from the miss profile,
+//     filtered by a fan-out threshold (§II-C; 99% is the paper's
+//     best-performing setting, swept in Fig. 3).
+//   - The window prefetchers of §II-D: Contiguous-8 (prefetch all 8 lines
+//     after a miss) and Non-contiguous-8 (prefetch only the lines that
+//     missed in the profile), plus a plain next-line prefetcher.
+//
+// AsmDB shares I-SPY's site-selection machinery (the paper notes the two
+// algorithms are similar); what it lacks is conditional execution and
+// coalescing — precisely the paper's contributions.
+package asmdb
+
+import (
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+)
+
+// DefaultFanoutThreshold is the fan-out setting AsmDB performs best at
+// (§II-C: "a high fan-out of 99% is required to achieve the best
+// performance").
+const DefaultFanoutThreshold = 0.99
+
+// Build runs the AsmDB analysis against a profile: select sites whose
+// fan-out is at or below the threshold (misses with no such predecessor in
+// the window stay uncovered) and inject plain single-line prefetches.
+func Build(p *profile.Profile, threshold float64, opt core.Options) *core.Build {
+	opt.Conditional = false
+	opt.Coalesce = false
+	opt.FanoutThreshold = threshold
+	// AsmDB estimates prefetch distances from instruction counts and the
+	// application's average IPC (§IV) rather than per-block cycle data.
+	opt.IPCDistance = true
+	if p.Stats != nil && p.Stats.BaseInstrs > 0 {
+		opt.AvgCPI = float64(p.Stats.Cycles) / float64(p.Stats.BaseInstrs)
+	}
+	choices, uncovered := core.SelectSites(p.Graph, opt)
+	plan := core.BuildPlan(p.Workload.Prog, choices, nil, p.Graph.TotalMisses, uncovered, opt)
+	prog := plan.Apply(p.Workload.Prog)
+	return &core.Build{Prog: prog, Plan: plan, Sites: choices}
+}
+
+// BuildDefault runs AsmDB at its best-performing threshold.
+func BuildDefault(p *profile.Profile, opt core.Options) *core.Build {
+	return Build(p, DefaultFanoutThreshold, opt)
+}
+
+// NonContiguousMask derives the Non-contiguous-N gating mask from a
+// profile: for each profiled miss line L, bit i−1 allows prefetching L+i
+// only if L+i misses comparably often — at least a quarter as often as L
+// itself (the paper prefetches "only the missed cache lines in the 8-line
+// window"; rarely-missing neighbors are the Contiguous prefetcher's
+// pollution). window must be ≤ 64.
+func NonContiguousMask(p *profile.Profile, window int) map[isa.Addr]uint64 {
+	counts := make(map[isa.Addr]uint64, len(p.Graph.Sites))
+	for key, s := range p.Graph.Sites {
+		counts[profile.ResolveLine(p.Workload.Prog, key)] += s.Count
+	}
+	mask := make(map[isa.Addr]uint64, len(counts))
+	for line, c := range counts {
+		floor := c / 4
+		if floor == 0 {
+			floor = 1
+		}
+		var m uint64
+		for i := 1; i <= window; i++ {
+			if counts[line+isa.Addr(i)*isa.LineSize] >= floor {
+				m |= 1 << (i - 1)
+			}
+		}
+		mask[line] = m
+	}
+	return mask
+}
+
+// RunConfig returns the simulator configuration an AsmDB binary runs under:
+// its plain prefetch instructions predate I-SPY's half-priority replacement
+// trick (§III-B introduces that as part of I-SPY's instruction family), so
+// prefetched lines insert at demand (MRU) priority and pay full pollution
+// cost.
+func RunConfig(scfg sim.Config) sim.Config {
+	scfg.Hier.PrefetchAtMRU = true
+	return scfg
+}
+
+// ContiguousConfig returns scfg with the Contiguous-N window prefetcher
+// enabled (a generic hardware prefetcher: demand-priority inserts).
+func ContiguousConfig(scfg sim.Config, window int) sim.Config {
+	scfg.HWPrefetchWindow = window
+	scfg.HWPrefetchMask = nil
+	scfg.Hier.PrefetchAtMRU = true
+	return scfg
+}
+
+// NonContiguousConfig returns scfg with the Non-contiguous-N prefetcher
+// enabled, gated by the profile's miss set.
+func NonContiguousConfig(scfg sim.Config, p *profile.Profile, window int) sim.Config {
+	scfg.HWPrefetchWindow = window
+	scfg.HWPrefetchMask = NonContiguousMask(p, window)
+	scfg.Hier.PrefetchAtMRU = true
+	return scfg
+}
+
+// NextLineConfig returns scfg with a classic next-line prefetcher.
+func NextLineConfig(scfg sim.Config) sim.Config {
+	scfg.HWPrefetchWindow = 1
+	scfg.HWPrefetchMask = nil
+	scfg.Hier.PrefetchAtMRU = true
+	return scfg
+}

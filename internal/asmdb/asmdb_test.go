@@ -1,0 +1,122 @@
+package asmdb
+
+import (
+	"testing"
+
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+func prof(t *testing.T) *profile.Profile {
+	t.Helper()
+	w := workload.Preset("tomcat")
+	c := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	c.MaxInstrs = 200_000
+	c.WarmupInstrs = 50_000
+	return profile.Collect(w, workload.DefaultInput(w), c)
+}
+
+func TestBuildInjectsOnlyPlainPrefetches(t *testing.T) {
+	p := prof(t)
+	b := BuildDefault(p, core.DefaultOptions())
+	kinds := b.Prog.NumPrefetches()
+	if kinds[isa.KindCprefetch] != 0 || kinds[isa.KindCLprefetch] != 0 {
+		t.Error("AsmDB must not inject conditional prefetches")
+	}
+	if kinds[isa.KindPrefetch]+kinds[isa.KindLprefetch] == 0 {
+		t.Fatal("AsmDB injected nothing")
+	}
+	// Lprefetch appears only as the straddle guard (single target, ≤1 bit).
+	for i := range b.Prog.Blocks {
+		for _, in := range b.Prog.Blocks[i].Instrs {
+			if in.Kind == isa.KindLprefetch && popcount(in.BitVec) > 1 {
+				t.Error("AsmDB coalesced multiple targets")
+			}
+		}
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestThresholdControlsCoverage(t *testing.T) {
+	p := prof(t)
+	loose := Build(p, 0.999, core.DefaultOptions())
+	strict := Build(p, 0.30, core.DefaultOptions())
+	if strict.Plan.MissesPlanned > loose.Plan.MissesPlanned {
+		t.Errorf("stricter threshold planned more misses (%d > %d)",
+			strict.Plan.MissesPlanned, loose.Plan.MissesPlanned)
+	}
+	if strict.Plan.MissesUncovered < loose.Plan.MissesUncovered {
+		t.Error("stricter threshold should uncover at least as much")
+	}
+}
+
+func TestBuildKeepsFanoutBelowThreshold(t *testing.T) {
+	p := prof(t)
+	th := 0.9
+	b := Build(p, th, core.DefaultOptions())
+	for _, c := range b.Sites {
+		if c.Fanout > th {
+			t.Fatalf("site %d has fan-out %v above threshold", c.Site, c.Fanout)
+		}
+	}
+}
+
+func TestNonContiguousMask(t *testing.T) {
+	p := prof(t)
+	mask := NonContiguousMask(p, 8)
+	if len(mask) == 0 {
+		t.Fatal("no mask entries")
+	}
+	missed := map[isa.Addr]bool{}
+	for key := range p.Graph.Sites {
+		missed[profile.ResolveLine(p.Workload.Prog, key)] = true
+	}
+	for line, m := range mask {
+		for i := 1; i <= 8; i++ {
+			bit := m&(1<<(i-1)) != 0
+			if bit != missed[line+isa.Addr(i)*64] {
+				t.Fatalf("mask bit %d for line %#x = %v, disagrees with miss set", i, line, bit)
+			}
+		}
+	}
+}
+
+func TestPrefetcherConfigs(t *testing.T) {
+	p := prof(t)
+	base := sim.Default()
+	if c := ContiguousConfig(base, 8); c.HWPrefetchWindow != 8 || c.HWPrefetchMask != nil {
+		t.Error("ContiguousConfig wrong")
+	}
+	if c := NonContiguousConfig(base, p, 8); c.HWPrefetchWindow != 8 || c.HWPrefetchMask == nil {
+		t.Error("NonContiguousConfig wrong")
+	}
+	if c := NextLineConfig(base); c.HWPrefetchWindow != 1 {
+		t.Error("NextLineConfig wrong")
+	}
+}
+
+func TestAsmDBRunsAndImproves(t *testing.T) {
+	p := prof(t)
+	w := p.Workload
+	scfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	scfg.MaxInstrs = 200_000
+	scfg.WarmupInstrs = 50_000
+	b := BuildDefault(p, core.DefaultOptions())
+	st := sim.Run(b.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), scfg, nil)
+	if st.MPKI() >= p.Stats.MPKI() {
+		t.Errorf("AsmDB did not reduce MPKI: %v vs %v", st.MPKI(), p.Stats.MPKI())
+	}
+	if st.Cycles >= p.Stats.Cycles {
+		t.Errorf("AsmDB did not speed up: %d vs %d cycles", st.Cycles, p.Stats.Cycles)
+	}
+}

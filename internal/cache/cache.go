@@ -1,0 +1,274 @@
+// Package cache implements the set-associative caches and the three-level
+// hierarchy of the simulated system (Table I), including the prefetch
+// semantics I-SPY requires:
+//
+//   - In-flight timing: a prefetched line "arrives" latency-of-serving-level
+//     cycles after the prefetch issues. A demand fetch that hits a line still
+//     in flight stalls only for the remaining cycles (a late prefetch hides
+//     part of the miss), which is what makes the minimum prefetch distance of
+//     §VI-B meaningful.
+//   - Half-priority insertion (§III-B): prefetched lines are inserted at half
+//     of the highest replacement priority rather than at MRU, so inaccurate
+//     prefetches age out quickly instead of displacing hot demand lines.
+//   - Usefulness tracking: each prefetched line records whether a demand
+//     access touched it before eviction, driving the prefetch-accuracy
+//     metric (Fig. 13) and pollution accounting.
+package cache
+
+import (
+	"fmt"
+
+	"ispy/internal/isa"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name appears in diagnostics ("L1I", "L2", …).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// Latency is the load-to-use latency in cycles when this level serves an
+	// access (Table I values are absolute, not additive).
+	Latency uint64
+}
+
+// Sets returns the number of sets the configuration implies.
+func (c Config) Sets() int { return c.SizeBytes / (isa.LineSize * c.Ways) }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	if c.SizeBytes%(isa.LineSize*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %s: sets %d not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// line is one cache way's state.
+type line struct {
+	tag        uint64
+	valid      bool
+	ts         uint64 // replacement timestamp; larger = more recently useful
+	arrival    uint64 // cycle at which the data is present (0 = already)
+	prefetched bool   // inserted by a prefetch and not yet demand-touched
+}
+
+// Stats accumulates per-level counters.
+type Stats struct {
+	// Accesses and Misses count demand lookups.
+	Accesses uint64
+	Misses   uint64
+	// PrefetchInserts counts lines inserted by prefetches.
+	PrefetchInserts uint64
+	// PrefetchUseful counts prefetched lines later touched by a demand
+	// access (including late arrivals that absorbed part of a stall).
+	PrefetchUseful uint64
+	// PrefetchUseless counts prefetched lines evicted (or invalidated)
+	// without ever being demand-touched — cache pollution.
+	PrefetchUseless uint64
+	// PrefetchLate counts demand accesses that found their line still in
+	// flight and had to wait for the remaining latency.
+	PrefetchLate uint64
+	// PrefetchRedundant counts prefetch inserts that found the line already
+	// resident (cheap, per §VII, but tracked).
+	PrefetchRedundant uint64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a single set-associative cache level with LRU replacement and
+// priority-aware insertion.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	clock   uint64
+	Stats   Stats
+}
+
+// New builds a cache from cfg, panicking on invalid geometry (a programming
+// error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: uint64(nsets - 1)}
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) indexOf(lineAddr isa.Addr) (set []line, tag uint64) {
+	idx := isa.LineIndex(lineAddr)
+	return c.sets[idx&c.setMask], idx
+}
+
+// LookupResult describes the outcome of a demand lookup.
+type LookupResult struct {
+	// Hit is true when the line is resident (possibly still in flight).
+	Hit bool
+	// Wait is the extra cycles until an in-flight line arrives (0 if the
+	// data is already present).
+	Wait uint64
+	// WasPrefetch is true when this demand access is the first touch of a
+	// prefetched line (it "used" the prefetch).
+	WasPrefetch bool
+}
+
+// Lookup performs a demand access at cycle now. On a hit it promotes the
+// line to MRU and clears its prefetched flag (counting prefetch usefulness).
+func (c *Cache) Lookup(lineAddr isa.Addr, now uint64) LookupResult {
+	c.Stats.Accesses++
+	set, tag := c.indexOf(lineAddr)
+	for i := range set {
+		w := &set[i]
+		if !w.valid || w.tag != tag {
+			continue
+		}
+		c.clock++
+		w.ts = c.clock
+		res := LookupResult{Hit: true}
+		if w.arrival > now {
+			res.Wait = w.arrival - now
+			c.Stats.PrefetchLate++
+		}
+		if w.prefetched {
+			w.prefetched = false
+			c.Stats.PrefetchUseful++
+			res.WasPrefetch = true
+		}
+		return res
+	}
+	c.Stats.Misses++
+	return LookupResult{}
+}
+
+// Contains reports whether the line is resident without touching replacement
+// state or statistics (used by prefetch issue to detect redundant targets
+// and by tests).
+func (c *Cache) Contains(lineAddr isa.Addr) bool {
+	set, tag := c.indexOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills lineAddr into the cache at cycle now.
+//
+// arrival is the cycle at which the data becomes available (== now for
+// demand fills; now + serve latency for prefetch fills). prefetch selects
+// the insertion priority: demand fills insert at MRU; prefetch fills insert
+// at half priority per §III-B. Insert returns true when an unused prefetched
+// line was evicted to make room (pollution).
+func (c *Cache) Insert(lineAddr isa.Addr, now, arrival uint64, prefetch bool) (evictedUnusedPrefetch bool) {
+	return c.InsertPrio(lineAddr, now, arrival, prefetch, prefetch)
+}
+
+// InsertPrio is Insert with the priority decision decoupled from the
+// usefulness tracking: halfPriority selects §III-B's demoted insertion,
+// prefetched marks the line for accuracy accounting. The ablation benchmark
+// for the replacement-policy design choice inserts prefetches at MRU
+// (prefetched=true, halfPriority=false) to quantify what §III-B buys.
+func (c *Cache) InsertPrio(lineAddr isa.Addr, now, arrival uint64, prefetched, halfPriority bool) (evictedUnusedPrefetch bool) {
+	set, tag := c.indexOf(lineAddr)
+	// Already resident: refresh arrival if the resident copy is in flight.
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			if prefetched {
+				c.Stats.PrefetchRedundant++
+			}
+			if w.arrival > arrival {
+				w.arrival = arrival
+			}
+			return false
+		}
+	}
+	// Choose a victim: first invalid way, else smallest timestamp.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].ts < set[victim].ts {
+				victim = i
+			}
+		}
+		if set[victim].prefetched {
+			c.Stats.PrefetchUseless++
+			evictedUnusedPrefetch = true
+		}
+	}
+	c.clock++
+	ts := c.clock
+	if halfPriority {
+		// Half priority: place the line midway between the set's coldest
+		// resident line and MRU, so it outlives nothing hot.
+		oldest := c.clock
+		for i := range set {
+			if set[i].valid && set[i].ts < oldest {
+				oldest = set[i].ts
+			}
+		}
+		ts = oldest + (c.clock-oldest)/2
+	}
+	if prefetched {
+		c.Stats.PrefetchInserts++
+	}
+	set[victim] = line{tag: tag, valid: true, ts: ts, arrival: arrival, prefetched: prefetched}
+	return evictedUnusedPrefetch
+}
+
+// FlushUnusedPrefetchStats folds still-resident, never-used prefetched lines
+// into PrefetchUseless. Call once at end of simulation so accuracy reflects
+// lines that were fetched but never needed.
+func (c *Cache) FlushUnusedPrefetchStats() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			w := &c.sets[si][wi]
+			if w.valid && w.prefetched {
+				c.Stats.PrefetchUseless++
+				w.prefetched = false
+			}
+		}
+	}
+}
+
+// Reset invalidates all lines and zeroes statistics.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+	c.clock = 0
+	c.Stats = Stats{}
+}

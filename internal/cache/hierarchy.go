@@ -1,0 +1,179 @@
+// Hierarchy: the three-level cache system of Table I with a flat-latency
+// memory behind it, specialized for instruction fetch and code prefetch.
+package cache
+
+import "ispy/internal/isa"
+
+// HierarchyConfig collects the per-level configurations and memory latency.
+type HierarchyConfig struct {
+	L1I, L1D, L2, L3 Config
+	// MemLatency is the DRAM load-to-use latency in cycles.
+	MemLatency uint64
+	// PrefetchAtMRU disables §III-B's half-priority insertion of prefetched
+	// lines (ablation: prefetches insert like demand loads, at MRU).
+	PrefetchAtMRU bool
+}
+
+// TableI returns the simulated system of the paper's Table I:
+// 32 KiB 8-way L1I/L1D (3/4 cycles), 1 MiB 16-way L2 (12 cycles), 10 MiB
+// 20-way shared L3 (36 cycles), 260-cycle memory.
+func TableI() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, Latency: 3},
+		L1D:        Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, Latency: 4},
+		L2:         Config{Name: "L2", SizeBytes: 1 << 20, Ways: 16, Latency: 12},
+		L3:         Config{Name: "L3", SizeBytes: 10 << 20, Ways: 20, Latency: 36},
+		MemLatency: 260,
+	}
+}
+
+// Level identifies which level of the hierarchy served an access.
+type Level uint8
+
+// Hierarchy levels, ordered by distance from the core.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	default:
+		return "Mem"
+	}
+}
+
+// Hierarchy is the instruction-side cache hierarchy. The L1D exists in the
+// configuration for fidelity to Table I but data accesses are charged a
+// fixed pipeline cost by the core model (every figure in the paper is about
+// the instruction side).
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1i *Cache
+	l2  *Cache
+	l3  *Cache
+}
+
+// NewHierarchy builds the hierarchy. ideal is modeled by the simulator, not
+// here (it simply never calls FetchI's miss path).
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1i: New(cfg.L1I),
+		l2:  New(cfg.L2),
+		l3:  New(cfg.L3),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1I exposes the first-level instruction cache (stats, tests).
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L2 exposes the unified second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// L3 exposes the last-level cache.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// FetchResult describes one demand instruction-line fetch.
+type FetchResult struct {
+	// Stall is the frontend stall in cycles beyond the pipelined L1I access:
+	// 0 on a timely L1I hit; the serving level's latency on a miss; the
+	// residual wait on a hit to an in-flight (late-prefetched) line.
+	Stall uint64
+	// Miss is true when the line was absent from the L1I.
+	Miss bool
+	// Level is the level that served the access.
+	Level Level
+	// UsedPrefetch is true when this fetch was the first demand touch of a
+	// prefetched L1I line.
+	UsedPrefetch bool
+}
+
+// FetchI performs a demand fetch of the instruction line at lineAddr at
+// cycle now, filling lower levels on the way (inclusive hierarchy).
+func (h *Hierarchy) FetchI(lineAddr isa.Addr, now uint64) FetchResult {
+	lineAddr = isa.LineOf(lineAddr)
+	if r := h.l1i.Lookup(lineAddr, now); r.Hit {
+		return FetchResult{Stall: r.Wait, Level: LevelL1, UsedPrefetch: r.WasPrefetch}
+	}
+	if r := h.l2.Lookup(lineAddr, now); r.Hit {
+		stall := h.cfg.L2.Latency + r.Wait
+		h.l1i.Insert(lineAddr, now, now+stall, false)
+		return FetchResult{Stall: stall, Miss: true, Level: LevelL2, UsedPrefetch: r.WasPrefetch}
+	}
+	if r := h.l3.Lookup(lineAddr, now); r.Hit {
+		stall := h.cfg.L3.Latency + r.Wait
+		h.l1i.Insert(lineAddr, now, now+stall, false)
+		h.l2.Insert(lineAddr, now, now+stall, false)
+		return FetchResult{Stall: stall, Miss: true, Level: LevelL3, UsedPrefetch: r.WasPrefetch}
+	}
+	stall := h.cfg.MemLatency
+	h.l1i.Insert(lineAddr, now, now+stall, false)
+	h.l2.Insert(lineAddr, now, now+stall, false)
+	h.l3.Insert(lineAddr, now, now+stall, false)
+	return FetchResult{Stall: stall, Miss: true, Level: LevelMem}
+}
+
+// PrefetchResult describes one prefetch issue.
+type PrefetchResult struct {
+	// Resident is true when the target was already in the L1I (a redundant
+	// prefetch; low cost per §VII).
+	Resident bool
+	// ServeLatency is the latency of the level that supplied the line.
+	ServeLatency uint64
+	// Level is the serving level.
+	Level Level
+}
+
+// PrefetchI issues a code prefetch for the line at lineAddr at cycle now.
+// The line is inserted into the L1I with half priority and an arrival time
+// of now + serve latency; it also fills L2/L3 as a normal fill would.
+func (h *Hierarchy) PrefetchI(lineAddr isa.Addr, now uint64) PrefetchResult {
+	lineAddr = isa.LineOf(lineAddr)
+	if h.l1i.Contains(lineAddr) {
+		h.l1i.Stats.PrefetchRedundant++
+		return PrefetchResult{Resident: true, Level: LevelL1}
+	}
+	// Probe lower levels without disturbing demand statistics: use Contains
+	// and then fill on the way in. All prefetch fills — at every level —
+	// use half-priority insertion (§III-B) so speculative lines never
+	// displace hot demand-fetched lines at MRU.
+	var lat uint64
+	var lvl Level
+	half := !h.cfg.PrefetchAtMRU
+	switch {
+	case h.l2.Contains(lineAddr):
+		lat, lvl = h.cfg.L2.Latency, LevelL2
+	case h.l3.Contains(lineAddr):
+		lat, lvl = h.cfg.L3.Latency, LevelL3
+		h.l2.InsertPrio(lineAddr, now, now+lat, true, half)
+	default:
+		lat, lvl = h.cfg.MemLatency, LevelMem
+		h.l2.InsertPrio(lineAddr, now, now+lat, true, half)
+		h.l3.InsertPrio(lineAddr, now, now+lat, true, half)
+	}
+	h.l1i.InsertPrio(lineAddr, now, now+lat, true, half)
+	return PrefetchResult{ServeLatency: lat, Level: lvl}
+}
+
+// Finish folds end-of-run prefetch state into statistics.
+func (h *Hierarchy) Finish() { h.l1i.FlushUnusedPrefetchStats() }
+
+// Reset restores the hierarchy to cold state.
+func (h *Hierarchy) Reset() {
+	h.l1i.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
+}

@@ -1,0 +1,154 @@
+// Package cfg holds the miss-annotated dynamic control-flow graph that
+// I-SPY's offline analysis consumes (§II-A, Fig. 2).
+//
+// Nodes are basic blocks; weighted edges are observed dynamic transitions
+// (from the LBR analogue); each block carries its execution count and
+// average dwell cycles (the LBR's cycle information, which lets the analysis
+// measure prefetch distances in cycles without the per-application IPC
+// heuristic AsmDB needs, §IV); and misses are aggregated per (block,
+// line-delta) site with a bounded reservoir of 32-predecessor history
+// samples (the PEBS analogue).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineKey identifies a missing instruction cache line position
+// layout-independently: the block whose fetch missed and the byte offset of
+// the line start relative to the block start (negative when the line begins
+// in the previous block's bytes). Keeping targets symbolic lets the
+// injection pass re-lay-out the program (code bloat shifts addresses) and
+// still prefetch the right code.
+type LineKey struct {
+	Block int32
+	Delta int32
+}
+
+// String renders the key for diagnostics.
+func (k LineKey) String() string { return fmt.Sprintf("b%d%+d", k.Block, k.Delta) }
+
+// PredEntry is one predecessor record inside a miss sample: the block and
+// how many cycles before the miss it was entered.
+type PredEntry struct {
+	Block int32
+	// CycleDelta is the true cycle distance to the miss (LBR cycle info).
+	CycleDelta uint32
+	// InstrDelta is the retired-instruction distance to the miss; AsmDB's
+	// IPC heuristic estimates cycles from it (§IV).
+	InstrDelta uint32
+}
+
+// Sample is one PEBS-style miss sample: the (up to) 32 most recent
+// predecessor blocks, oldest first.
+type Sample struct {
+	Preds []PredEntry
+}
+
+// MissSite aggregates the misses observed for one line.
+type MissSite struct {
+	Key LineKey
+	// Count is the total observed misses of this line.
+	Count uint64
+	// Samples is a bounded reservoir of miss histories.
+	Samples []Sample
+}
+
+// Graph is the miss-annotated dynamic CFG.
+type Graph struct {
+	// NumBlocks is the static block count.
+	NumBlocks int
+	// Exec counts executions per block.
+	Exec []uint64
+	// Cycles accumulates the cycles attributed to each block (entry-to-next-
+	// entry deltas); Cycles[i]/Exec[i] is the block's average dwell.
+	Cycles []float64
+	// Edges holds observed successor counts per block.
+	Edges []map[int32]uint64
+	// Sites maps each missing line to its aggregate.
+	Sites map[LineKey]*MissSite
+	// TotalMisses is the sum of all site counts.
+	TotalMisses uint64
+}
+
+// NewGraph returns an empty graph over numBlocks blocks.
+func NewGraph(numBlocks int) *Graph {
+	return &Graph{
+		NumBlocks: numBlocks,
+		Exec:      make([]uint64, numBlocks),
+		Cycles:    make([]float64, numBlocks),
+		Edges:     make([]map[int32]uint64, numBlocks),
+		Sites:     make(map[LineKey]*MissSite),
+	}
+}
+
+// AddEdge records one dynamic transition from → to.
+func (g *Graph) AddEdge(from, to int32) {
+	m := g.Edges[from]
+	if m == nil {
+		m = make(map[int32]uint64, 4)
+		g.Edges[from] = m
+	}
+	m[to]++
+}
+
+// AvgCycles returns block b's average dwell cycles (0 if never executed).
+func (g *Graph) AvgCycles(b int32) float64 {
+	if g.Exec[b] == 0 {
+		return 0
+	}
+	return g.Cycles[b] / float64(g.Exec[b])
+}
+
+// Site returns (creating if needed) the aggregate for key.
+func (g *Graph) Site(key LineKey) *MissSite {
+	s := g.Sites[key]
+	if s == nil {
+		s = &MissSite{Key: key}
+		g.Sites[key] = s
+	}
+	return s
+}
+
+// SortedSites returns all miss sites ordered by descending count (ties by
+// key for determinism).
+func (g *Graph) SortedSites() []*MissSite {
+	out := make([]*MissSite, 0, len(g.Sites))
+	for _, s := range g.Sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Key.Block != out[j].Key.Block {
+			return out[i].Key.Block < out[j].Key.Block
+		}
+		return out[i].Key.Delta < out[j].Key.Delta
+	})
+	return out
+}
+
+// SuccProb returns the observed probability of the from → to transition.
+func (g *Graph) SuccProb(from, to int32) float64 {
+	if g.Exec[from] == 0 {
+		return 0
+	}
+	return float64(g.Edges[from][to]) / float64(g.Exec[from])
+}
+
+// CoverageOfTopSites returns how many sites cover frac of all misses
+// (diagnostic for analysis budgets).
+func (g *Graph) CoverageOfTopSites(frac float64) int {
+	sites := g.SortedSites()
+	var acc uint64
+	want := uint64(frac * float64(g.TotalMisses))
+	for i, s := range sites {
+		acc += s.Count
+		if acc >= want {
+			return i + 1
+		}
+	}
+	return len(sites)
+}

@@ -1,0 +1,152 @@
+package cfg
+
+import (
+	"testing"
+)
+
+func TestLineKeyString(t *testing.T) {
+	if (LineKey{Block: 3, Delta: -8}).String() != "b3-8" {
+		t.Errorf("got %q", (LineKey{Block: 3, Delta: -8}).String())
+	}
+	if (LineKey{Block: 1, Delta: 64}).String() != "b1+64" {
+		t.Errorf("got %q", (LineKey{Block: 1, Delta: 64}).String())
+	}
+}
+
+func TestEdgeAndExecAccounting(t *testing.T) {
+	g := NewGraph(4)
+	g.Exec[0] = 10
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	if g.Edges[0][1] != 2 || g.Edges[0][2] != 1 {
+		t.Errorf("edges = %v", g.Edges[0])
+	}
+	if p := g.SuccProb(0, 1); p != 0.2 {
+		t.Errorf("SuccProb = %v", p)
+	}
+	if g.SuccProb(3, 0) != 0 {
+		t.Error("unexecuted block must have 0 successor probability")
+	}
+}
+
+func TestAvgCycles(t *testing.T) {
+	g := NewGraph(2)
+	g.Exec[0] = 4
+	g.Cycles[0] = 10
+	if g.AvgCycles(0) != 2.5 {
+		t.Errorf("AvgCycles = %v", g.AvgCycles(0))
+	}
+	if g.AvgCycles(1) != 0 {
+		t.Error("unexecuted block must average 0")
+	}
+}
+
+func TestSiteCreationAndLookup(t *testing.T) {
+	g := NewGraph(2)
+	k := LineKey{Block: 1, Delta: 0}
+	s := g.Site(k)
+	s.Count = 5
+	if g.Site(k) != s {
+		t.Error("Site must return the same aggregate")
+	}
+	if len(g.Sites) != 1 {
+		t.Error("site map corrupted")
+	}
+}
+
+func TestSortedSitesOrder(t *testing.T) {
+	g := NewGraph(4)
+	g.Site(LineKey{Block: 1, Delta: 0}).Count = 5
+	g.Site(LineKey{Block: 2, Delta: 0}).Count = 9
+	g.Site(LineKey{Block: 3, Delta: 0}).Count = 5
+	g.Site(LineKey{Block: 3, Delta: 64}).Count = 5
+	got := g.SortedSites()
+	if got[0].Key.Block != 2 {
+		t.Errorf("largest-count site not first: %v", got[0].Key)
+	}
+	// Ties by (block, delta).
+	if got[1].Key.Block != 1 || got[2].Key.Block != 3 || got[2].Key.Delta != 0 || got[3].Key.Delta != 64 {
+		t.Errorf("tie order wrong: %v %v %v", got[1].Key, got[2].Key, got[3].Key)
+	}
+}
+
+func TestCoverageOfTopSites(t *testing.T) {
+	g := NewGraph(4)
+	g.Site(LineKey{Block: 0}).Count = 80
+	g.Site(LineKey{Block: 1}).Count = 15
+	g.Site(LineKey{Block: 2}).Count = 5
+	g.TotalMisses = 100
+	if got := g.CoverageOfTopSites(0.8); got != 1 {
+		t.Errorf("80%% coverage needs %d sites, want 1", got)
+	}
+	if got := g.CoverageOfTopSites(0.95); got != 2 {
+		t.Errorf("95%% coverage needs %d sites, want 2", got)
+	}
+	if got := g.CoverageOfTopSites(1.0); got != 3 {
+		t.Errorf("full coverage needs %d sites, want 3", got)
+	}
+}
+
+// TestFig2Example builds the paper's Fig. 2 miss-annotated CFG: paths
+// A→B→E→G→H→K and A→C→E→G→H→K lead to the miss at K; paths through F/I do
+// not. The graph must expose exactly the structure context discovery needs:
+// K's history samples contain B or C, E, G, H.
+func TestFig2Example(t *testing.T) {
+	// Block IDs: A=0 B=1 C=2 D=3 E=4 F=5 G=6 H=7 I=8 K=9.
+	g := NewGraph(10)
+	paths := [][]int32{
+		{0, 1, 4, 6, 7, 9}, // A B E G H K (miss)
+		{0, 2, 4, 6, 7, 9}, // A C E G H K (miss)
+		{0, 3, 5, 6, 8},    // A D F G I (no miss)
+		{0, 2, 5, 6, 8},    // A C F G I (no miss)
+	}
+	for _, p := range paths {
+		for i, b := range p {
+			g.Exec[b]++
+			if i > 0 {
+				g.AddEdge(p[i-1], b)
+			}
+		}
+	}
+	missKey := LineKey{Block: 9, Delta: 0}
+	site := g.Site(missKey)
+	for _, p := range paths[:2] {
+		var preds []PredEntry
+		for i, b := range p[:len(p)-1] {
+			preds = append(preds, PredEntry{
+				Block:      b,
+				CycleDelta: uint32((len(p) - 1 - i) * 30),
+				InstrDelta: uint32((len(p) - 1 - i) * 40),
+			})
+		}
+		site.Samples = append(site.Samples, Sample{Preds: preds})
+		site.Count++
+		g.TotalMisses++
+	}
+
+	// G executes on all four paths; only half lead to the miss. With edge
+	// weights all 1, the fan-out of G with respect to K is 50% here (the
+	// paper's Fig. 2 uses 4 paths through G with 1 leading to K ⇒ 75%).
+	if g.Exec[6] != 4 {
+		t.Fatalf("G executed %d times", g.Exec[6])
+	}
+	if g.Site(missKey).Count != 2 {
+		t.Fatal("miss count wrong")
+	}
+	// E appears in every miss history; F in none.
+	for _, s := range site.Samples {
+		foundE, foundF := false, false
+		for _, pe := range s.Preds {
+			if pe.Block == 4 {
+				foundE = true
+			}
+			if pe.Block == 5 {
+				foundF = true
+			}
+		}
+		if !foundE || foundF {
+			t.Error("miss histories must contain E and never F")
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Table I, Figs. 1–21; the per-experiment index lives in
+// DESIGN.md §3). Each experiment is a named function over a Lab, which
+// lazily computes and caches the per-application artifacts most experiments
+// share: the baseline and ideal-cache runs, the profile, and the AsmDB and
+// I-SPY builds with their evaluation runs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ispy/internal/asmdb"
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+// Config scales the harness: experiments use MeasureInstrs for headline
+// runs and SweepInstrs for multi-configuration sensitivity sweeps.
+type Config struct {
+	// Apps lists the applications to evaluate (default: all nine).
+	Apps []string
+	// MeasureInstrs / WarmupInstrs configure headline runs.
+	MeasureInstrs uint64
+	WarmupInstrs  uint64
+	// SweepInstrs / SweepWarmup configure sensitivity-sweep runs.
+	SweepInstrs uint64
+	SweepWarmup uint64
+	// Parallel runs independent per-app work on all cores.
+	Parallel bool
+}
+
+// DefaultConfig returns the full-fidelity configuration.
+func DefaultConfig() Config {
+	return Config{
+		Apps:          workload.AppNames,
+		MeasureInstrs: 1_500_000,
+		WarmupInstrs:  300_000,
+		SweepInstrs:   800_000,
+		SweepWarmup:   200_000,
+		Parallel:      true,
+	}
+}
+
+// QuickConfig returns a reduced configuration for smoke runs. The warmup
+// stays near the full configuration's: measuring before the L2 holds the
+// live text puts the comparison in a cold-start regime where spray
+// prefetching doubles as cache warming (see integration tests).
+func QuickConfig() Config {
+	return Config{
+		Apps:          []string{"wordpress", "tomcat", "verilator"},
+		MeasureInstrs: 500_000,
+		WarmupInstrs:  250_000,
+		SweepInstrs:   300_000,
+		SweepWarmup:   200_000,
+		Parallel:      true,
+	}
+}
+
+// Lab owns the per-application artifact cache.
+type Lab struct {
+	Cfg  Config
+	mu   sync.Mutex
+	apps map[string]*App
+}
+
+// NewLab creates a lab over cfg (zero fields take defaults).
+func NewLab(cfg Config) *Lab {
+	d := DefaultConfig()
+	if len(cfg.Apps) == 0 {
+		cfg.Apps = d.Apps
+	}
+	if cfg.MeasureInstrs == 0 {
+		cfg.MeasureInstrs = d.MeasureInstrs
+	}
+	if cfg.WarmupInstrs == 0 {
+		cfg.WarmupInstrs = d.WarmupInstrs
+	}
+	if cfg.SweepInstrs == 0 {
+		cfg.SweepInstrs = d.SweepInstrs
+	}
+	if cfg.SweepWarmup == 0 {
+		cfg.SweepWarmup = d.SweepWarmup
+	}
+	return &Lab{Cfg: cfg, apps: make(map[string]*App)}
+}
+
+// App bundles one application's cached artifacts. All getters are
+// memoized and safe for concurrent use.
+type App struct {
+	Name string
+	W    *workload.Workload
+	lab  *Lab
+
+	mu        sync.Mutex
+	base      *sim.Stats
+	ideal     *sim.Stats
+	prof      *profile.Profile
+	asmdb     *core.Build
+	asmdbStat *sim.Stats
+	ispy      *core.Build
+	ispyStat  *sim.Stats
+	prepared  *core.Prepared
+}
+
+// App returns (creating on first use) the cached artifacts for name.
+func (l *Lab) App(name string) *App {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a := l.apps[name]
+	if a == nil {
+		a = &App{Name: name, W: workload.Preset(name), lab: l}
+		l.apps[name] = a
+	}
+	return a
+}
+
+// Apps returns the lab's applications in configuration order.
+func (l *Lab) Apps() []*App {
+	out := make([]*App, len(l.Cfg.Apps))
+	for i, n := range l.Cfg.Apps {
+		out[i] = l.App(n)
+	}
+	return out
+}
+
+// ForEachApp runs f over every configured app, in parallel when enabled.
+func (l *Lab) ForEachApp(f func(*App)) {
+	apps := l.Apps()
+	if !l.Cfg.Parallel {
+		for _, a := range apps {
+			f(a)
+		}
+		return
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, a := range apps {
+		wg.Add(1)
+		go func(a *App) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f(a)
+		}(a)
+	}
+	wg.Wait()
+}
+
+// SimCfg returns the headline simulator configuration for this app.
+func (a *App) SimCfg() sim.Config {
+	c := sim.Default().WithWorkloadCPI(a.W.Params.BackendCPI)
+	c.MaxInstrs = a.lab.Cfg.MeasureInstrs
+	c.WarmupInstrs = a.lab.Cfg.WarmupInstrs
+	return c
+}
+
+// SweepCfg returns the (cheaper) sweep configuration.
+func (a *App) SweepCfg() sim.Config {
+	c := a.SimCfg()
+	c.MaxInstrs = a.lab.Cfg.SweepInstrs
+	c.WarmupInstrs = a.lab.Cfg.SweepWarmup
+	return c
+}
+
+// Run simulates prog under cfg with the app's default (profiled) input.
+func (a *App) Run(prog *isa.Program, cfg sim.Config) *sim.Stats {
+	return a.RunInput(prog, cfg, workload.DefaultInput(a.W))
+}
+
+// RunInput simulates prog under cfg with an explicit input.
+func (a *App) RunInput(prog *isa.Program, cfg sim.Config, in workload.Input) *sim.Stats {
+	ex := workload.NewExecutor(a.W, in)
+	return sim.Run(prog, ex, cfg, nil)
+}
+
+// Base returns the no-prefetching baseline run.
+func (a *App) Base() *sim.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.base == nil {
+		a.base = a.Run(a.W.Prog, a.SimCfg())
+	}
+	return a.base
+}
+
+// Ideal returns the ideal-cache (no-miss) run.
+func (a *App) Ideal() *sim.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ideal == nil {
+		cfg := a.SimCfg()
+		cfg.Ideal = true
+		a.ideal = a.Run(a.W.Prog, cfg)
+	}
+	return a.ideal
+}
+
+// Profile returns the baseline profiling pass.
+func (a *App) Profile() *profile.Profile {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.profileLocked()
+}
+
+func (a *App) profileLocked() *profile.Profile {
+	if a.prof == nil {
+		a.prof = profile.Collect(a.W, workload.DefaultInput(a.W), a.SimCfg())
+	}
+	return a.prof
+}
+
+// AsmDB returns the AsmDB build at its default threshold.
+func (a *App) AsmDB() *core.Build {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.asmdb == nil {
+		a.asmdb = asmdb.BuildDefault(a.profileLocked(), core.DefaultOptions())
+	}
+	return a.asmdb
+}
+
+// AsmDBStats returns the AsmDB evaluation run (demand-priority prefetch
+// inserts; see asmdb.RunConfig).
+func (a *App) AsmDBStats() *sim.Stats {
+	b := a.AsmDB()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.asmdbStat == nil {
+		a.asmdbStat = a.Run(b.Prog, asmdb.RunConfig(a.SimCfg()))
+	}
+	return a.asmdbStat
+}
+
+// Prepared returns the default-options analysis intermediates (shared by
+// sweeps that reuse labeled contexts).
+func (a *App) Prepared() *core.Prepared {
+	p := a.Profile()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.prepared == nil {
+		a.prepared = core.Prepare(p, a.SimCfg(), core.DefaultOptions())
+	}
+	return a.prepared
+}
+
+// ISPY returns the full I-SPY build at default options.
+func (a *App) ISPY() *core.Build {
+	prep := a.Prepared()
+	p := a.Profile()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ispy == nil {
+		a.ispy = core.BuildFromPrepared(p, prep, core.DefaultOptions())
+	}
+	return a.ispy
+}
+
+// ISPYStats returns the I-SPY evaluation run.
+func (a *App) ISPYStats() *sim.Stats {
+	b := a.ISPY()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ispyStat == nil {
+		a.ispyStat = a.Run(b.Prog, a.SimCfg())
+	}
+	return a.ispyStat
+}
+
+// ISPYVariant builds and runs an I-SPY variant reusing the prepared
+// evidence; cfg overrides the simulator configuration (HashBits follows
+// opt). Not memoized.
+func (a *App) ISPYVariant(opt core.Options, cfg sim.Config) (*core.Build, *sim.Stats) {
+	b := core.BuildFromPrepared(a.Profile(), a.Prepared(), opt)
+	if opt.HashBits != 0 {
+		cfg.HashBits = opt.HashBits
+	}
+	return b, a.Run(b.Prog, cfg)
+}
+
+// Warm computes the default artifact set (base, ideal, profile, AsmDB,
+// I-SPY and their runs) for all configured apps in parallel.
+func (l *Lab) Warm() {
+	l.ForEachApp(func(a *App) {
+		a.Base()
+		a.Ideal()
+		a.AsmDBStats()
+		a.ISPYStats()
+	})
+}
+
+// appCheck verifies the lab config references known apps early.
+func (l *Lab) appCheck() error {
+	for _, n := range l.Cfg.Apps {
+		found := false
+		for _, k := range workload.AppNames {
+			if k == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("experiments: unknown app %q", n)
+		}
+	}
+	return nil
+}
+
+// Validate checks the configuration.
+func (l *Lab) Validate() error { return l.appCheck() }

@@ -1,0 +1,159 @@
+package profile
+
+import (
+	"testing"
+
+	"ispy/internal/cfg"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+func testCfg() sim.Config {
+	c := sim.Default()
+	c.MaxInstrs = 200_000
+	c.WarmupInstrs = 50_000
+	return c
+}
+
+func collectTomcat(t *testing.T) *Profile {
+	t.Helper()
+	w := workload.Preset("tomcat")
+	return Collect(w, workload.DefaultInput(w), testCfg().WithWorkloadCPI(w.Params.BackendCPI))
+}
+
+func TestCollectBasics(t *testing.T) {
+	p := collectTomcat(t)
+	if p.Stats.L1IMisses == 0 {
+		t.Fatal("profile observed no misses")
+	}
+	if p.Graph.TotalMisses != p.Stats.L1IMisses {
+		t.Errorf("graph misses %d != sim misses %d", p.Graph.TotalMisses, p.Stats.L1IMisses)
+	}
+	if len(p.Graph.Sites) == 0 {
+		t.Fatal("no miss sites")
+	}
+	var siteSum uint64
+	for _, s := range p.Graph.Sites {
+		siteSum += s.Count
+	}
+	if siteSum != p.Graph.TotalMisses {
+		t.Errorf("site counts sum %d != total %d", siteSum, p.Graph.TotalMisses)
+	}
+}
+
+func TestCollectExecCounts(t *testing.T) {
+	p := collectTomcat(t)
+	var execSum uint64
+	for _, e := range p.Graph.Exec {
+		execSum += e
+	}
+	if execSum != p.Stats.Blocks {
+		t.Errorf("exec sum %d != simulated blocks %d", execSum, p.Stats.Blocks)
+	}
+}
+
+func TestCollectSampleBound(t *testing.T) {
+	p := collectTomcat(t)
+	for key, s := range p.Graph.Sites {
+		if len(s.Samples) > MaxSamplesPerSite {
+			t.Fatalf("site %v holds %d samples (cap %d)", key, len(s.Samples), MaxSamplesPerSite)
+		}
+		if s.Count > 0 && len(s.Samples) == 0 {
+			t.Fatalf("site %v has misses but no samples", key)
+		}
+	}
+}
+
+func TestCollectSampleDistancesMonotone(t *testing.T) {
+	p := collectTomcat(t)
+	checked := 0
+	for _, s := range p.Graph.Sites {
+		for _, sample := range s.Samples {
+			// Preds are oldest-first: cycle deltas must be non-increasing.
+			for i := 1; i < len(sample.Preds); i++ {
+				if sample.Preds[i].CycleDelta > sample.Preds[i-1].CycleDelta {
+					t.Fatal("history cycle deltas are not oldest-first")
+				}
+			}
+			checked++
+		}
+		if checked > 200 {
+			return
+		}
+	}
+}
+
+func TestCollectHashDensity(t *testing.T) {
+	p := collectTomcat(t)
+	if p.AvgHashDensity <= 0 || p.AvgHashDensity > 1 {
+		t.Errorf("hash density = %v", p.AvgHashDensity)
+	}
+}
+
+func TestCollectDeterminism(t *testing.T) {
+	a := collectTomcat(t)
+	b := collectTomcat(t)
+	if a.Graph.TotalMisses != b.Graph.TotalMisses || len(a.Graph.Sites) != len(b.Graph.Sites) {
+		t.Error("profiling not deterministic")
+	}
+}
+
+func TestResolveLine(t *testing.T) {
+	w := workload.Preset("tomcat")
+	b := &w.Prog.Blocks[10]
+	key := cfg.LineKey{Block: 10, Delta: int32(uint64(b.Addr) % 64)}
+	// delta chosen so base+delta is within the block.
+	got := ResolveLine(w.Prog, cfg.LineKey{Block: 10, Delta: 0})
+	if got != b.Addr&^63 {
+		t.Errorf("ResolveLine = %#x, want %#x", got, b.Addr&^63)
+	}
+	_ = key
+}
+
+func TestCollectContextsLabels(t *testing.T) {
+	w := workload.Preset("tomcat")
+	scfg := testCfg().WithWorkloadCPI(w.Params.BackendCPI)
+	p := Collect(w, workload.DefaultInput(w), scfg)
+
+	// Instrument the most-missed site's most frequent predecessor.
+	sites := p.Graph.SortedSites()
+	if len(sites) == 0 {
+		t.Skip("no misses")
+	}
+	target := sites[0]
+	if len(target.Samples) == 0 {
+		t.Skip("no samples")
+	}
+	siteBlock := target.Samples[0].Preds[len(target.Samples[0].Preds)/2].Block
+	cp := CollectContexts(w, workload.DefaultInput(w), scfg,
+		[]Targets{{Site: siteBlock, Lines: []cfg.LineKey{target.Key}}}, 260)
+
+	ls := cp.Get(siteBlock, target.Key)
+	if ls == nil {
+		t.Fatal("no labeled set produced")
+	}
+	if ls.PosTotal+ls.NegTotal == 0 {
+		t.Fatal("no labels recorded")
+	}
+	if ls.PosTotal+ls.NegTotal != cp.SiteExec[siteBlock] {
+		t.Errorf("labels %d != site executions %d", ls.PosTotal+ls.NegTotal, cp.SiteExec[siteBlock])
+	}
+	if len(ls.Pos) > MaxLabeledSamples || len(ls.Neg) > MaxLabeledSamples {
+		t.Error("labeled reservoirs exceed cap")
+	}
+	if uint64(len(ls.Pos)) > ls.PosTotal || uint64(len(ls.Neg)) > ls.NegTotal {
+		t.Error("reservoirs larger than totals")
+	}
+}
+
+func TestCollectContextsUnknownSite(t *testing.T) {
+	w := workload.Preset("tomcat")
+	scfg := testCfg().WithWorkloadCPI(w.Params.BackendCPI)
+	cp := CollectContexts(w, workload.DefaultInput(w), scfg, nil, 260)
+	if len(cp.Sets) != 0 {
+		t.Error("no instrumentation requested but sets exist")
+	}
+	if cp.Get(1, cfg.LineKey{}) != nil {
+		t.Error("Get on missing pair must return nil")
+	}
+}

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"testing"
+
+	"ispy/internal/hashx"
+	"ispy/internal/isa"
+	"ispy/internal/lbr"
+	"ispy/internal/workload"
+)
+
+// seqSource replays a fixed block sequence forever.
+type seqSource struct {
+	seq []int
+	i   int
+}
+
+func (s *seqSource) Next() int {
+	b := s.seq[s.i]
+	s.i = (s.i + 1) % len(s.seq)
+	return b
+}
+
+// buildProg lays out n single-line blocks, each in its own function (so each
+// block occupies its own 64-byte-aligned line), holding `instrs`
+// instructions of 4 bytes each plus a 2-byte branch.
+func buildProg(n, instrs int) *isa.Program {
+	p := &isa.Program{}
+	for i := 0; i < n; i++ {
+		p.Funcs = append(p.Funcs, isa.Func{Name: "f", Align: 64})
+		var ins []isa.Instr
+		for k := 0; k < instrs; k++ {
+			ins = append(ins, isa.NewInstr(isa.KindALU, 4))
+		}
+		ins = append(ins, isa.NewInstr(isa.KindBranch, 2))
+		p.Blocks = append(p.Blocks, isa.Block{ID: i, Func: i, Instrs: ins})
+		p.Funcs[i].Blocks = []int{i}
+	}
+	p.Layout()
+	return p
+}
+
+func smallCfg() Config {
+	c := Default()
+	c.MaxInstrs = 10_000
+	c.WarmupInstrs = 0
+	c.BackendCPI = 0.5
+	return c
+}
+
+func TestIdealNeverStalls(t *testing.T) {
+	prog := buildProg(4, 10)
+	cfg := smallCfg()
+	cfg.Ideal = true
+	st := Run(prog, &seqSource{seq: []int{0, 1, 2, 3}}, cfg, nil)
+	if st.L1IMisses != 0 || st.StallCycles != 0 {
+		t.Errorf("ideal run stalled: %+v", st)
+	}
+	if st.BaseInstrs < cfg.MaxInstrs {
+		t.Error("instruction budget not met")
+	}
+}
+
+func TestIdealFasterThanReal(t *testing.T) {
+	// A footprint far larger than the L1I forces misses.
+	prog := buildProg(1200, 12)
+	seq := make([]int, 1200)
+	for i := range seq {
+		seq[i] = i
+	}
+	cfg := smallCfg()
+	cfg.MaxInstrs = 100_000
+	real := Run(prog, &seqSource{seq: seq}, cfg, nil)
+	cfg.Ideal = true
+	ideal := Run(prog, &seqSource{seq: seq}, cfg, nil)
+	if real.L1IMisses == 0 {
+		t.Fatal("expected misses from a 1200-line footprint")
+	}
+	if ideal.Cycles >= real.Cycles {
+		t.Errorf("ideal (%d cycles) not faster than real (%d)", ideal.Cycles, real.Cycles)
+	}
+}
+
+func TestCycleDecomposition(t *testing.T) {
+	prog := buildProg(2, 10)
+	cfg := smallCfg()
+	st := Run(prog, &seqSource{seq: []int{0, 1}}, cfg, nil)
+	sum := st.IssueCycles + st.BackendCycles + st.StallCycles
+	if diff := int64(st.Cycles) - int64(sum); diff < -3 || diff > 3 {
+		t.Errorf("cycles %d != issue %d + backend %d + stall %d",
+			st.Cycles, st.IssueCycles, st.BackendCycles, st.StallCycles)
+	}
+	// Under an ideal cache the cost is exact: 11 instructions per block at
+	// width 4 (2.75 issue cycles) plus 11×0.5 backend cycles.
+	cfg.Ideal = true
+	ideal := Run(prog, &seqSource{seq: []int{0, 1}}, cfg, nil)
+	wantIPC := 11.0 / (11.0/4 + 11*0.5)
+	if got := ideal.IPC(); got < wantIPC*0.99 || got > wantIPC*1.01 {
+		t.Errorf("ideal IPC = %v, want ≈%v", got, wantIPC)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := workload.Preset("tomcat")
+	cfg := Default().WithWorkloadCPI(w.Params.BackendCPI)
+	cfg.MaxInstrs = 100_000
+	cfg.WarmupInstrs = 20_000
+	a := Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+	b := Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+	if a.Cycles != b.Cycles || a.L1IMisses != b.L1IMisses || a.Instrs != b.Instrs {
+		t.Errorf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	prog := buildProg(1200, 12)
+	seq := make([]int, 1200)
+	for i := range seq {
+		seq[i] = i
+	}
+	cfg := smallCfg()
+	cfg.MaxInstrs = 50_000
+	cold := Run(prog, &seqSource{seq: seq}, cfg, nil)
+	cfg.WarmupInstrs = 50_000
+	warm := Run(prog, &seqSource{seq: seq}, cfg, nil)
+	if warm.BaseInstrs != cold.BaseInstrs {
+		t.Fatal("budgets differ")
+	}
+	// With this cyclic access pattern the L1I thrashes either way, but the
+	// L2 is warm, so the warmed run must see cheaper misses.
+	if warm.StallCycles >= cold.StallCycles {
+		t.Errorf("warmup did not reduce stalls: warm=%d cold=%d", warm.StallCycles, cold.StallCycles)
+	}
+}
+
+func TestPlainPrefetchEliminatesMiss(t *testing.T) {
+	// Block 0 prefetches block 2's line well before block 2 runs.
+	prog := buildProg(3, 30)
+	pf := isa.NewPrefetch(isa.KindPrefetch, 2, 0, 0, 0)
+	prog.Blocks[0].Instrs = append([]isa.Instr{pf}, prog.Blocks[0].Instrs...)
+	prog.Layout()
+
+	cfg := smallCfg()
+	cfg.MaxInstrs = 5_000
+	st := Run(prog, &seqSource{seq: []int{0, 1, 1, 1, 1, 1, 1, 1, 2}}, cfg, nil)
+	if st.DynPrefetchInstrs == 0 || st.PrefetchLinesIssued == 0 {
+		t.Fatal("prefetch instruction not executed")
+	}
+	// Block 2's line must be hit after the first lap (prefetched each lap;
+	// it would also be cached, so check useful counts instead).
+	if st.L1I.PrefetchUseful == 0 && st.L1I.PrefetchRedundant == 0 {
+		t.Error("prefetch neither useful nor redundant — target never arrived")
+	}
+}
+
+func TestConditionalSuppression(t *testing.T) {
+	// Cprefetch whose context block never executes: with a 64-bit hash
+	// aliasing is (practically) impossible for a single bit, so the
+	// prefetch must be suppressed unless the context bit aliases a
+	// resident block's bit — check ground-truth counters instead.
+	prog := buildProg(4, 10)
+	ctxAddr := isa.Addr(0x900000) // no block lives here
+	pf := isa.NewPrefetch(isa.KindCprefetch, 3, 0, 0, 0)
+	pf.CtxHash = hashx.ContextHash([]uint64{uint64(ctxAddr)}, 64)
+	pf.CtxAddrs = []isa.Addr{ctxAddr}
+	prog.Blocks[0].Instrs = append([]isa.Instr{pf}, prog.Blocks[0].Instrs...)
+	prog.Layout()
+
+	cfg := smallCfg()
+	cfg.HashBits = 64
+	cfg.MaxInstrs = 5_000
+	st := Run(prog, &seqSource{seq: []int{0, 1, 2}}, cfg, nil)
+	if st.CondExecuted == 0 {
+		t.Fatal("conditional prefetch never executed")
+	}
+	if st.CondFired != st.CondFalseFires {
+		t.Errorf("fires with absent context must all be false: fired=%d false=%d",
+			st.CondFired, st.CondFalseFires)
+	}
+	if st.CondSuppressed == 0 {
+		t.Error("expected suppressions with a 64-bit hash and absent context")
+	}
+}
+
+func TestConditionalFiresWhenContextPresent(t *testing.T) {
+	prog := buildProg(4, 10)
+	// Context = block 1's address; the sequence always runs 1 before 0.
+	pf := isa.NewPrefetch(isa.KindCprefetch, 3, 0, 0, 0)
+	prog.Layout()
+	ctxAddr := prog.Blocks[1].Addr
+	pf.CtxHash = hashx.ContextHash([]uint64{uint64(ctxAddr)}, 16)
+	pf.CtxAddrs = []isa.Addr{ctxAddr}
+	prog.Blocks[0].Instrs = append([]isa.Instr{pf}, prog.Blocks[0].Instrs...)
+	prog.Layout()
+
+	cfg := smallCfg()
+	cfg.MaxInstrs = 5_000
+	st := Run(prog, &seqSource{seq: []int{1, 0, 2}}, cfg, nil)
+	if st.CondFired == 0 {
+		t.Fatal("conditional prefetch never fired despite context present")
+	}
+	if st.CondFalseFires != 0 {
+		t.Errorf("%d false fires with context genuinely present", st.CondFalseFires)
+	}
+}
+
+func TestCoalescedPrefetchIssuesAllLines(t *testing.T) {
+	prog := buildProg(4, 10)
+	pf := isa.NewPrefetch(isa.KindLprefetch, 2, 0, 0, 0b11) // base + 2 lines
+	prog.Blocks[0].Instrs = append([]isa.Instr{pf}, prog.Blocks[0].Instrs...)
+	prog.Layout()
+	cfg := smallCfg()
+	cfg.MaxInstrs = 1_000
+	st := Run(prog, &seqSource{seq: []int{0, 1}}, cfg, nil)
+	perExec := float64(st.PrefetchLinesIssued) / float64(st.DynPrefetchInstrs)
+	if perExec != 3 {
+		t.Errorf("coalesced prefetch issued %.1f lines per execution, want 3", perExec)
+	}
+}
+
+func TestHWWindowPrefetcher(t *testing.T) {
+	prog := buildProg(1200, 12)
+	seq := make([]int, 1200)
+	for i := range seq {
+		seq[i] = i
+	}
+	cfg := smallCfg()
+	cfg.MaxInstrs = 100_000
+	base := Run(prog, &seqSource{seq: seq}, cfg, nil)
+	cfg.HWPrefetchWindow = 8
+	pf := Run(prog, &seqSource{seq: seq}, cfg, nil)
+	if pf.L1IMisses >= base.L1IMisses {
+		t.Errorf("contiguous-8 did not reduce misses: %d vs %d", pf.L1IMisses, base.L1IMisses)
+	}
+	if pf.PrefetchLinesIssued == 0 {
+		t.Error("window prefetcher issued nothing")
+	}
+}
+
+func TestHWMaskRestrictsWindow(t *testing.T) {
+	prog := buildProg(1200, 12)
+	seq := make([]int, 1200)
+	for i := range seq {
+		seq[i] = i
+	}
+	cfg := smallCfg()
+	cfg.MaxInstrs = 50_000
+	cfg.HWPrefetchWindow = 8
+	cfg.HWPrefetchMask = map[isa.Addr]uint64{} // all-zero masks: nothing allowed
+	st := Run(prog, &seqSource{seq: seq}, cfg, nil)
+	if st.PrefetchLinesIssued != 0 {
+		t.Errorf("empty mask still issued %d prefetches", st.PrefetchLinesIssued)
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := &Stats{BaseInstrs: 1000, L1IMisses: 25, Cycles: 500}
+	if s.MPKI() != 25 {
+		t.Errorf("MPKI = %v", s.MPKI())
+	}
+	if s.IPC() != 2 {
+		t.Errorf("IPC = %v", s.IPC())
+	}
+	s.DynPrefetchInstrs = 50
+	if s.DynFootprintIncrease() != 0.05 {
+		t.Errorf("dyn increase = %v", s.DynFootprintIncrease())
+	}
+	s.CondFired, s.CondFalseFires = 10, 3
+	if s.CondFalsePositiveRate() != 0.3 {
+		t.Errorf("FP rate = %v", s.CondFalsePositiveRate())
+	}
+	var zero Stats
+	if zero.MPKI() != 0 || zero.IPC() != 0 || zero.PrefetchAccuracy() != 0 ||
+		zero.FrontendBoundFrac() != 0 || zero.CondFalsePositiveRate() != 0 {
+		t.Error("zero stats must yield zero metrics")
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHooksObserveMissesAndBlocks(t *testing.T) {
+	prog := buildProg(600, 12)
+	seq := make([]int, 600)
+	for i := range seq {
+		seq[i] = i
+	}
+	cfg := smallCfg()
+	cfg.MaxInstrs = 30_000
+	var misses, blocks int
+	hooks := &Hooks{
+		OnMiss:  func(block int, delta int32, cycle uint64, l *lbr.LBR) { misses++ },
+		OnBlock: func(block int, cycle uint64, l *lbr.LBR) { blocks++ },
+	}
+	st := Run(prog, &seqSource{seq: seq}, cfg, hooks)
+	if uint64(misses) != st.L1IMisses {
+		t.Errorf("hook saw %d misses, stats say %d", misses, st.L1IMisses)
+	}
+	if uint64(blocks) != st.Blocks {
+		t.Errorf("hook saw %d blocks, stats say %d", blocks, st.Blocks)
+	}
+}
+
+func TestHooksSilentDuringWarmup(t *testing.T) {
+	prog := buildProg(600, 12)
+	seq := make([]int, 600)
+	for i := range seq {
+		seq[i] = i
+	}
+	cfg := smallCfg()
+	cfg.MaxInstrs = 10_000
+	cfg.WarmupInstrs = 10_000
+	var blocks uint64
+	hooks := &Hooks{OnBlock: func(int, uint64, *lbr.LBR) { blocks++ }}
+	st := Run(prog, &seqSource{seq: seq}, cfg, hooks)
+	if blocks != st.Blocks {
+		t.Errorf("hook count %d should match measured blocks %d (warmup excluded)", blocks, st.Blocks)
+	}
+}
+
+func TestTakenOnlyLBR(t *testing.T) {
+	// With a TakenReporter that marks nothing taken, the LBR stays empty —
+	// observable via OnBlock's lbr argument.
+	prog := buildProg(4, 10)
+	src := &neverTaken{seqSource{seq: []int{0, 1, 2, 3}}}
+	cfg := smallCfg()
+	cfg.MaxInstrs = 2_000
+	sawEntries := false
+	hooks := &Hooks{OnBlock: func(_ int, _ uint64, l *lbr.LBR) {
+		if l.Len() > 0 {
+			sawEntries = true
+		}
+	}}
+	Run(prog, src, cfg, hooks)
+	if sawEntries {
+		t.Error("LBR recorded fall-through blocks despite TakenReporter")
+	}
+}
+
+type neverTaken struct{ seqSource }
+
+func (n *neverTaken) LastWasTaken() bool { return false }
+
+func TestLatePrefetchPartialStall(t *testing.T) {
+	// Prefetch issued immediately before the demand fetch: the wait must be
+	// less than the full miss penalty.
+	prog := buildProg(2, 4)
+	pf := isa.NewPrefetch(isa.KindPrefetch, 1, 0, 0, 0)
+	prog.Blocks[0].Instrs = append([]isa.Instr{pf}, prog.Blocks[0].Instrs...)
+	prog.Layout()
+	cfg := smallCfg()
+	cfg.MaxInstrs = 2_000
+	st := Run(prog, &seqSource{seq: []int{0, 1}}, cfg, nil)
+	if st.LateWaits == 0 {
+		t.Error("expected late-prefetch waits from a last-moment prefetch")
+	}
+}

@@ -1,0 +1,378 @@
+// Package traceio persists the reproduction's artifacts — programs and
+// profiles — in a compact, deterministic binary format.
+//
+// The paper's deployment model (Fig. 9) separates profile collection (in
+// production) from the offline analysis (at build time); the two sides
+// exchange serialized miss profiles. This package provides that interchange:
+// `ispy-profile` can write a profile once and the analysis can be re-run
+// against it without re-simulating.
+//
+// Format: a small tag-length-value-free stream of varint-encoded integers
+// with section magics, version-checked on read. Floats are encoded as
+// IEEE-754 bits. The format is independent of host endianness and Go
+// version.
+package traceio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ispy/internal/cfg"
+	"ispy/internal/isa"
+)
+
+// Magic numbers and version for the container format.
+const (
+	programMagic = 0x49535059 // "ISPY"
+	profileMagic = 0x49535046 // "ISPF"
+	version      = 2
+)
+
+// writer wraps buffered varint encoding.
+type writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func newWriter(w io.Writer) *writer { return &writer{w: bufio.NewWriter(w)} }
+
+func (e *writer) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *writer) varint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *writer) float(v float64) { e.uvarint(math.Float64bits(v)) }
+
+func (e *writer) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.WriteString(s)
+}
+
+func (e *writer) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// reader wraps buffered varint decoding.
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func newReader(r io.Reader) *reader { return &reader{r: bufio.NewReader(r)} }
+
+func (d *reader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("traceio: %w", err)
+	}
+	return v
+}
+
+func (d *reader) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("traceio: %w", err)
+	}
+	return v
+}
+
+func (d *reader) float() float64 { return math.Float64frombits(d.uvarint()) }
+
+func (d *reader) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("traceio: unreasonable string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("traceio: %w", err)
+		return ""
+	}
+	return string(b)
+}
+
+// count guards slice allocations against corrupt headers.
+func (d *reader) count(max uint64, what string) int {
+	n := d.uvarint()
+	if d.err == nil && n > max {
+		d.err = fmt.Errorf("traceio: %s count %d exceeds sanity bound %d", what, n, max)
+	}
+	return int(n)
+}
+
+// WriteProgram serializes a laid-out program.
+func WriteProgram(w io.Writer, p *isa.Program) error {
+	e := newWriter(w)
+	e.uvarint(programMagic)
+	e.uvarint(version)
+	writeProgramBody(e, p)
+	return e.flush()
+}
+
+func writeProgramBody(e *writer, p *isa.Program) {
+	e.uvarint(uint64(len(p.Funcs)))
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		e.str(f.Name)
+		e.uvarint(uint64(f.Align))
+		e.uvarint(uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			e.uvarint(uint64(b))
+		}
+	}
+	e.uvarint(uint64(len(p.Blocks)))
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		e.uvarint(uint64(b.Func))
+		e.uvarint(uint64(len(b.Instrs)))
+		for _, in := range b.Instrs {
+			e.uvarint(uint64(in.Kind))
+			e.uvarint(uint64(in.Size))
+			if in.Kind.IsPrefetch() {
+				e.varint(int64(in.TargetBlock))
+				e.varint(int64(in.TargetDelta))
+				e.uvarint(in.CtxHash)
+				e.uvarint(in.BitVec)
+				e.uvarint(uint64(len(in.CtxAddrs)))
+				for _, a := range in.CtxAddrs {
+					e.uvarint(uint64(a))
+				}
+			}
+		}
+	}
+}
+
+// ReadProgram deserializes a program and lays it out.
+func ReadProgram(r io.Reader) (*isa.Program, error) {
+	d := newReader(r)
+	if m := d.uvarint(); d.err == nil && m != programMagic {
+		return nil, fmt.Errorf("traceio: bad program magic %#x", m)
+	}
+	if v := d.uvarint(); d.err == nil && v != version {
+		return nil, fmt.Errorf("traceio: unsupported program version %d", v)
+	}
+	p := readProgramBody(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("traceio: deserialized program invalid: %w", err)
+	}
+	return p, nil
+}
+
+func readProgramBody(d *reader) *isa.Program {
+	p := &isa.Program{}
+	nf := d.count(1<<22, "func")
+	p.Funcs = make([]isa.Func, 0, nf)
+	for i := 0; i < nf && d.err == nil; i++ {
+		f := isa.Func{Name: d.str(), Align: int(d.uvarint())}
+		nb := d.count(1<<24, "func block")
+		f.Blocks = make([]int, 0, nb)
+		for j := 0; j < nb && d.err == nil; j++ {
+			f.Blocks = append(f.Blocks, int(d.uvarint()))
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	nb := d.count(1<<24, "block")
+	p.Blocks = make([]isa.Block, 0, nb)
+	for i := 0; i < nb && d.err == nil; i++ {
+		b := isa.Block{ID: i, Func: int(d.uvarint())}
+		ni := d.count(1<<20, "instr")
+		b.Instrs = make([]isa.Instr, 0, ni)
+		for j := 0; j < ni && d.err == nil; j++ {
+			in := isa.Instr{Kind: isa.Kind(d.uvarint()), Size: uint8(d.uvarint()), TargetBlock: -1}
+			if in.Kind.IsPrefetch() {
+				in.TargetBlock = int32(d.varint())
+				in.TargetDelta = int32(d.varint())
+				in.CtxHash = d.uvarint()
+				in.BitVec = d.uvarint()
+				na := d.count(64, "ctx addr")
+				for k := 0; k < na && d.err == nil; k++ {
+					in.CtxAddrs = append(in.CtxAddrs, isa.Addr(d.uvarint()))
+				}
+			}
+			b.Instrs = append(b.Instrs, in)
+		}
+		p.Blocks = append(p.Blocks, b)
+	}
+	return p
+}
+
+// ProfileData is the serializable subset of a profile: the miss-annotated
+// dynamic CFG plus the summary statistics the analysis needs. (Workload
+// identity is recorded by name+seed so the consumer can regenerate the
+// matching program deterministically.)
+type ProfileData struct {
+	WorkloadName string
+	WorkloadSeed uint64
+	InputName    string
+	InputSeed    uint64
+
+	TotalMisses    uint64
+	AvgHashDensity float64
+	BaseCycles     uint64
+	BaseInstrs     uint64
+
+	Graph *cfg.Graph
+}
+
+// WriteProfile serializes a profile.
+func WriteProfile(w io.Writer, pd *ProfileData) error {
+	e := newWriter(w)
+	e.uvarint(profileMagic)
+	e.uvarint(version)
+	e.str(pd.WorkloadName)
+	e.uvarint(pd.WorkloadSeed)
+	e.str(pd.InputName)
+	e.uvarint(pd.InputSeed)
+	e.uvarint(pd.TotalMisses)
+	e.float(pd.AvgHashDensity)
+	e.uvarint(pd.BaseCycles)
+	e.uvarint(pd.BaseInstrs)
+
+	g := pd.Graph
+	e.uvarint(uint64(g.NumBlocks))
+	for _, x := range g.Exec {
+		e.uvarint(x)
+	}
+	for _, c := range g.Cycles {
+		e.float(c)
+	}
+	// Edges: per block, count then (to, n) pairs sorted by target for
+	// deterministic output.
+	for _, m := range g.Edges {
+		e.uvarint(uint64(len(m)))
+		for _, to := range sortedKeys(m) {
+			e.varint(int64(to))
+			e.uvarint(m[to])
+		}
+	}
+	e.uvarint(uint64(len(g.Sites)))
+	for _, s := range g.SortedSites() {
+		e.varint(int64(s.Key.Block))
+		e.varint(int64(s.Key.Delta))
+		e.uvarint(s.Count)
+		e.uvarint(uint64(len(s.Samples)))
+		for _, smp := range s.Samples {
+			e.uvarint(uint64(len(smp.Preds)))
+			for _, pe := range smp.Preds {
+				e.varint(int64(pe.Block))
+				e.uvarint(uint64(pe.CycleDelta))
+				e.uvarint(uint64(pe.InstrDelta))
+			}
+		}
+	}
+	return e.flush()
+}
+
+// ReadProfile deserializes a profile.
+func ReadProfile(r io.Reader) (*ProfileData, error) {
+	d := newReader(r)
+	if m := d.uvarint(); d.err == nil && m != profileMagic {
+		return nil, fmt.Errorf("traceio: bad profile magic %#x", m)
+	}
+	if v := d.uvarint(); d.err == nil && v != version {
+		return nil, fmt.Errorf("traceio: unsupported profile version %d", v)
+	}
+	pd := &ProfileData{
+		WorkloadName: d.str(),
+		WorkloadSeed: d.uvarint(),
+		InputName:    d.str(),
+		InputSeed:    d.uvarint(),
+	}
+	pd.TotalMisses = d.uvarint()
+	pd.AvgHashDensity = d.float()
+	pd.BaseCycles = d.uvarint()
+	pd.BaseInstrs = d.uvarint()
+
+	nb := d.count(1<<24, "graph block")
+	g := cfg.NewGraph(nb)
+	for i := 0; i < nb && d.err == nil; i++ {
+		g.Exec[i] = d.uvarint()
+	}
+	for i := 0; i < nb && d.err == nil; i++ {
+		g.Cycles[i] = d.float()
+	}
+	for i := 0; i < nb && d.err == nil; i++ {
+		ne := d.count(1<<20, "edge")
+		for j := 0; j < ne && d.err == nil; j++ {
+			to := int32(d.varint())
+			n := d.uvarint()
+			if g.Edges[i] == nil {
+				g.Edges[i] = make(map[int32]uint64, ne)
+			}
+			g.Edges[i][to] = n
+		}
+	}
+	ns := d.count(1<<24, "site")
+	for i := 0; i < ns && d.err == nil; i++ {
+		key := cfg.LineKey{Block: int32(d.varint()), Delta: int32(d.varint())}
+		s := g.Site(key)
+		s.Count = d.uvarint()
+		nsm := d.count(1<<16, "sample")
+		for j := 0; j < nsm && d.err == nil; j++ {
+			np := d.count(64, "pred")
+			smp := cfg.Sample{Preds: make([]cfg.PredEntry, 0, np)}
+			for k := 0; k < np && d.err == nil; k++ {
+				smp.Preds = append(smp.Preds, cfg.PredEntry{
+					Block:      int32(d.varint()),
+					CycleDelta: uint32(d.uvarint()),
+					InstrDelta: uint32(d.uvarint()),
+				})
+			}
+			s.Samples = append(s.Samples, smp)
+		}
+	}
+	g.TotalMisses = pd.TotalMisses
+	pd.Graph = g
+	if d.err != nil {
+		return nil, d.err
+	}
+	return pd, nil
+}
+
+func sortedKeys(m map[int32]uint64) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; edge fan-outs are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
