@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# The full gate: what CI (and every PR) must pass.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -14,7 +14,10 @@
 //
 //	-quick        reduced instruction budgets and app set (for smoke runs)
 //	-apps a,b,c   restrict to specific applications
-//	-instrs N     measured workload instructions per run
+//	-instrs N     measured workload instructions per run (warmups rescale)
+//	-cache-dir D  persist artifacts in D; later runs reuse them
+//	-jobs N       worker-pool size shared by all parallel work
+//	-v            live progress lines and an end-of-run telemetry summary
 //	-seq          disable parallelism (deterministic ordering of log lines)
 package main
 
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"ispy/internal/core"
@@ -38,7 +42,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced budgets and app set")
 	apps := flag.String("apps", "", "comma-separated app subset")
 	instrs := flag.Uint64("instrs", 0, "measured workload instructions per run")
-	seq := flag.Bool("seq", false, "disable parallel per-app work")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (reused across runs)")
+	jobs := flag.Int("jobs", 0, "worker-pool size (default: GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print per-artifact progress and a telemetry summary")
+	seq := flag.Bool("seq", false, "disable parallel work")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -53,17 +60,25 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	if *apps != "" {
-		cfg.Apps = strings.Split(*apps, ",")
+		sel := parseApps(*apps)
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "ispy: -apps %q names no applications (valid: %s)\n",
+				*apps, strings.Join(workload.AppNames, ", "))
+			os.Exit(2)
+		}
+		cfg.Apps = sel
 	}
 	if *instrs != 0 {
-		cfg.MeasureInstrs = *instrs
-		if s := *instrs / 2; s > 0 {
-			cfg.SweepInstrs = s
-		}
+		// Rescale the warmup and sweep budgets with the measured budget;
+		// keeping them fixed would let the warmup swallow short runs.
+		cfg = cfg.WithMeasureInstrs(*instrs)
 	}
 	if *seq {
 		cfg.Parallel = false
 	}
+	cfg.Jobs = *jobs
+	cfg.CacheDir = *cacheDir
+	cfg.Verbose = *verbose
 	lab := experiments.NewLab(cfg)
 	if err := lab.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -100,6 +115,21 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, lab.Telemetry().Summary())
+	}
+}
+
+// parseApps splits a comma-separated app list, trimming whitespace and
+// dropping empty entries (so "a, b," parses as [a b]).
+func parseApps(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func runExperiments(lab *experiments.Lab, ids []string) {
@@ -116,8 +146,19 @@ func runExperiments(lab *experiments.Lab, ids []string) {
 	}
 }
 
+// sweepAcc accumulates one sweep setting's mean from concurrent pool tasks.
+// Apps without ideal headroom (idealGain ≤ 0) are excluded from the mean and
+// counted so the denominator reflects only accumulated apps.
+type sweepAcc struct {
+	mu      sync.Mutex
+	sum     float64
+	n       int
+	skipped int
+}
+
 // runSweep exposes the sensitivity knobs generically: it reuses each app's
 // cached analysis intermediates and prints the mean %-of-ideal per setting.
+// Every (setting, app) point is one task on the lab's shared worker pool.
 func runSweep(lab *experiments.Lab, knob string) {
 	type setting struct {
 		label string
@@ -162,26 +203,47 @@ func runSweep(lab *experiments.Lab, knob string) {
 		fmt.Fprintf(os.Stderr, "ispy sweep: unknown knob %q\n", knob)
 		os.Exit(2)
 	}
-	for _, s := range settings {
-		var sum float64
+	accs := make([]sweepAcc, len(settings))
+	g := lab.Group()
+	for si, s := range settings {
+		si, s := si, s
 		for _, name := range lab.Cfg.Apps {
 			a := lab.App(name)
-			base, ideal := a.Base(), a.Ideal()
-			var st *simStats
-			if s.fresh {
-				b := core.BuildISPY(a.Profile(), a.SweepCfg(), s.opt())
-				st = a.Run(b.Prog, a.SweepCfg())
-			} else {
-				_, st = a.ISPYVariant(s.opt(), a.SweepCfg())
-			}
-			idealGain := float64(base.Cycles)/float64(ideal.Cycles) - 1
-			scale := float64(st.BaseInstrs) / float64(base.BaseInstrs)
-			gain := float64(base.Cycles)*scale/float64(st.Cycles) - 1
-			if idealGain > 0 {
-				sum += gain / idealGain * 100
-			}
+			g.Go(func() {
+				base, ideal := a.Base(), a.Ideal()
+				var st *simStats
+				if s.fresh {
+					st = a.FreshVariantStats(s.opt(), a.SweepCfg(), a.SweepCfg())
+				} else {
+					st = a.ISPYVariantStats(s.opt(), a.SweepCfg())
+				}
+				idealGain := float64(base.Cycles)/float64(ideal.Cycles) - 1
+				scale := float64(st.BaseInstrs) / float64(base.BaseInstrs)
+				gain := float64(base.Cycles)*scale/float64(st.Cycles) - 1
+				acc := &accs[si]
+				acc.mu.Lock()
+				if idealGain > 0 {
+					acc.sum += gain / idealGain * 100
+					acc.n++
+				} else {
+					acc.skipped++
+				}
+				acc.mu.Unlock()
+			})
 		}
-		fmt.Printf("%-12s %6.1f%% of ideal (mean over %d apps)\n", s.label, sum/float64(len(lab.Cfg.Apps)), len(lab.Cfg.Apps))
+	}
+	g.Wait()
+	for si, s := range settings {
+		acc := &accs[si]
+		if acc.n == 0 {
+			fmt.Printf("%-12s    n/a (no app has ideal headroom)\n", s.label)
+			continue
+		}
+		note := ""
+		if acc.skipped > 0 {
+			note = fmt.Sprintf("; %d skipped (no ideal headroom)", acc.skipped)
+		}
+		fmt.Printf("%-12s %6.1f%% of ideal (mean over %d apps%s)\n", s.label, acc.sum/float64(acc.n), acc.n, note)
 	}
 }
 

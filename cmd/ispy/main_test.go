@@ -1,0 +1,88 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ispy/internal/experiments"
+)
+
+// Regression: -instrs used to rescale only the measured budgets, leaving the
+// fixed 300k/200k warmups to swallow (or exceed) short runs.
+func TestInstrsRescalesWarmups(t *testing.T) {
+	cfg := experiments.DefaultConfig().WithMeasureInstrs(150_000)
+	if cfg.MeasureInstrs != 150_000 {
+		t.Fatalf("MeasureInstrs = %d", cfg.MeasureInstrs)
+	}
+	if cfg.WarmupInstrs >= cfg.MeasureInstrs {
+		t.Errorf("warmup %d not rescaled below measure %d", cfg.WarmupInstrs, cfg.MeasureInstrs)
+	}
+	if cfg.SweepWarmup >= cfg.SweepInstrs {
+		t.Errorf("sweep warmup %d not rescaled below sweep budget %d", cfg.SweepWarmup, cfg.SweepInstrs)
+	}
+	// The configuration's proportions survive the rescale.
+	d := experiments.DefaultConfig()
+	wantWarmup := uint64(float64(d.WarmupInstrs) * 150_000 / float64(d.MeasureInstrs))
+	if cfg.WarmupInstrs != wantWarmup {
+		t.Errorf("WarmupInstrs = %d, want %d", cfg.WarmupInstrs, wantWarmup)
+	}
+	// A zero target is a no-op.
+	if got := d.WithMeasureInstrs(0); got.MeasureInstrs != d.MeasureInstrs || got.WarmupInstrs != d.WarmupInstrs {
+		t.Error("WithMeasureInstrs(0) changed the config")
+	}
+}
+
+// Regression: a warmup at or above the measured budget must be rejected, not
+// silently produce zero-length measurements.
+func TestValidateRejectsWarmupAboveMeasure(t *testing.T) {
+	lab := experiments.NewLab(experiments.Config{
+		Apps:          []string{"tomcat"},
+		MeasureInstrs: 100_000,
+		WarmupInstrs:  100_000,
+	})
+	if err := lab.Validate(); err == nil || !strings.Contains(err.Error(), "warmup") {
+		t.Errorf("warmup ≥ measure accepted (err=%v)", err)
+	}
+	lab = experiments.NewLab(experiments.Config{
+		Apps:        []string{"tomcat"},
+		SweepInstrs: 50_000,
+		SweepWarmup: 60_000,
+	})
+	if err := lab.Validate(); err == nil || !strings.Contains(err.Error(), "sweep warmup") {
+		t.Errorf("sweep warmup ≥ sweep budget accepted (err=%v)", err)
+	}
+}
+
+// Regression: -apps "a, b," used to pass the raw split (with spaces and an
+// empty trailing entry) straight to the lab.
+func TestParseApps(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"tomcat", []string{"tomcat"}},
+		{"tomcat,kafka", []string{"tomcat", "kafka"}},
+		{" tomcat , kafka ", []string{"tomcat", "kafka"}},
+		{"tomcat,,kafka,", []string{"tomcat", "kafka"}},
+		{",", nil},
+		{"  ", nil},
+	}
+	for _, c := range cases {
+		if got := parseApps(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseApps(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// The unknown-app error must name the valid applications.
+func TestUnknownAppErrorNamesValidApps(t *testing.T) {
+	lab := experiments.NewLab(experiments.Config{Apps: []string{"nope"}})
+	err := lab.Validate()
+	if err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if !strings.Contains(err.Error(), "wordpress") || !strings.Contains(err.Error(), "tomcat") {
+		t.Errorf("error does not list valid apps: %v", err)
+	}
+}

@@ -1,0 +1,214 @@
+package artifacts
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+func testCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func statsKey(kind string) *Key {
+	return NewKey(kind, "tomcat").
+		Params(workload.PresetParams("tomcat")).
+		SimConfig(sim.Default()).
+		Input(workload.Input{Name: "profiled", Seed: 42})
+}
+
+func TestKeyDeterminismAndSensitivity(t *testing.T) {
+	if statsKey("base").Hash() != statsKey("base").Hash() {
+		t.Error("identical key material hashed differently")
+	}
+	base := statsKey("base")
+	if h := statsKey("ideal").Hash(); h == base.Hash() {
+		t.Error("kind not part of the key")
+	}
+	cfg := sim.Default()
+	cfg.Ideal = true
+	if h := NewKey("base", "tomcat").Params(workload.PresetParams("tomcat")).SimConfig(cfg).Hash(); h == base.Hash() {
+		t.Error("sim config not part of the key")
+	}
+	o1, o2 := core.DefaultOptions(), core.DefaultOptions()
+	o2.Conditional = false
+	k1 := statsKey("v").Options(o1)
+	k2 := statsKey("v").Options(o2)
+	if k1.Hash() == k2.Hash() {
+		t.Error("boolean option flip did not change the key")
+	}
+	// The HW-prefetch mask folds deterministically (map iteration order must
+	// not leak into the hash).
+	mk := func() *Key {
+		c := sim.Default()
+		c.HWPrefetchMask = map[isa.Addr]uint64{0x40: 3, 0x80: 7, 0xc0: 1}
+		return NewKey("hw", "a").SimConfig(c)
+	}
+	for i := 0; i < 20; i++ {
+		if mk().Hash() != mk().Hash() {
+			t.Fatal("mask fold nondeterministic")
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	c := testCache(t)
+	k := statsKey("base")
+	if _, ok := c.LoadStats(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	s := &sim.Stats{Cycles: 12345, BaseInstrs: 1000, L1IMisses: 77}
+	s.L1I.Accesses = 9000
+	c.StoreStats(k, s)
+	got, ok := c.LoadStats(k)
+	if !ok {
+		t.Fatal("stored stats not found")
+	}
+	if *got != *s {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, s)
+	}
+	// A different kind misses.
+	if _, ok := c.LoadStats(statsKey("ideal")); ok {
+		t.Error("different key served the same entry")
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	c := testCache(t)
+	w := workload.Preset("tomcat")
+	in := workload.DefaultInput(w)
+	cfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	cfg.MaxInstrs = 60_000
+	cfg.WarmupInstrs = 10_000
+	p := profile.Collect(w, in, cfg)
+
+	k := NewKey("profile", w.Name).Params(w.Params).SimConfig(cfg).Input(in)
+	c.StoreProfile(k, p)
+	got, ok := c.LoadProfile(k, w, in)
+	if !ok {
+		t.Fatal("stored profile not found")
+	}
+	if got.Graph.TotalMisses != p.Graph.TotalMisses ||
+		len(got.Graph.Sites) != len(p.Graph.Sites) ||
+		got.AvgHashDensity != p.AvgHashDensity ||
+		*got.Stats != *p.Stats {
+		t.Error("profile round trip lost data")
+	}
+	if got.Workload != w || got.Input.Name != in.Name || got.Input.Seed != in.Seed {
+		t.Error("profile not rebound to live workload/input")
+	}
+
+	// A profile stored for another input must be treated as stale.
+	other := workload.Input{Name: "drifted", Seed: 999}
+	if _, ok := c.LoadProfile(k, w, other); ok {
+		t.Error("stale profile (different input) served as a hit")
+	}
+}
+
+func TestBuildRoundTrip(t *testing.T) {
+	c := testCache(t)
+	w := workload.Preset("tomcat")
+	in := workload.DefaultInput(w)
+	cfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	cfg.MaxInstrs = 60_000
+	cfg.WarmupInstrs = 10_000
+	p := profile.Collect(w, in, cfg)
+	b := core.BuildISPY(p, cfg, core.DefaultOptions())
+
+	k := NewKey("ispy-build", w.Name).Params(w.Params).SimConfig(cfg).Options(core.DefaultOptions())
+	c.StoreBuild(k, b)
+	got, ok := c.LoadBuild(k)
+	if !ok {
+		t.Fatal("stored build not found")
+	}
+	if len(got.Prog.Blocks) != len(b.Prog.Blocks) || got.Prog.TextSize != b.Prog.TextSize {
+		t.Error("program round trip mismatch")
+	}
+	if got.Plan.MissesTotal != b.Plan.MissesTotal ||
+		got.Plan.MissesPlanned != b.Plan.MissesPlanned ||
+		got.Plan.MissesUncovered != b.Plan.MissesUncovered ||
+		len(got.Plan.CoalescedLineCounts) != len(b.Plan.CoalescedLineCounts) ||
+		len(got.Plan.CoalesceDistances) != len(b.Plan.CoalesceDistances) {
+		t.Error("plan summary round trip mismatch")
+	}
+	// The rewritten program must simulate identically to the original build.
+	s1 := sim.Run(b.Prog, workload.NewExecutor(w, in), cfg, nil)
+	s2 := sim.Run(got.Prog, workload.NewExecutor(w, in), cfg, nil)
+	if s1.Cycles != s2.Cycles || s1.L1IMisses != s2.L1IMisses {
+		t.Errorf("cached build simulates differently: %d/%d vs %d/%d cycles/misses",
+			s1.Cycles, s1.L1IMisses, s2.Cycles, s2.L1IMisses)
+	}
+}
+
+// TestCorruptEntriesFallBackToMiss exercises the recovery path: truncated,
+// bit-flipped, and garbage entries must all read as misses, never errors.
+func TestCorruptEntriesFallBackToMiss(t *testing.T) {
+	c := testCache(t)
+	k := statsKey("base")
+	c.StoreStats(k, &sim.Stats{Cycles: 999, BaseInstrs: 10})
+	path := filepath.Join(c.Dir(), k.Filename())
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated":  orig[:len(orig)/2],
+		"empty":      {},
+		"garbage":    {0xde, 0xad, 0xbe, 0xef},
+		"bitflipped": flipByte(orig, len(orig)/2),
+		"badmagic":   flipByte(orig, 0),
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.LoadStats(k); ok {
+			t.Errorf("%s entry served as a hit", name)
+		}
+	}
+
+	// After corruption, a store must repair the entry.
+	c.StoreStats(k, &sim.Stats{Cycles: 999, BaseInstrs: 10})
+	if got, ok := c.LoadStats(k); !ok || got.Cycles != 999 {
+		t.Error("store after corruption did not repair the entry")
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestNilCacheIsBypass(t *testing.T) {
+	var c *Cache
+	k := statsKey("base")
+	c.StoreStats(k, &sim.Stats{Cycles: 1})
+	if _, ok := c.LoadStats(k); ok {
+		t.Error("nil cache hit")
+	}
+	if _, ok := c.LoadBuild(k); ok {
+		t.Error("nil cache hit")
+	}
+	if c.Enabled() || c.Dir() != "" {
+		t.Error("nil cache claims to be enabled")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+}

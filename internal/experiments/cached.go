@@ -1,0 +1,164 @@
+// The bridge between the Lab and the on-disk artifact cache: every artifact
+// the harness computes flows through one of the load-or-compute helpers
+// below, which consult the cache (when configured), maintain the hit/miss/
+// bypass telemetry, and time every recomputation. The helpers never fail —
+// a broken cache entry degrades to a recompute, exactly like a cold cache.
+package experiments
+
+import (
+	"time"
+
+	"ispy/internal/artifacts"
+	"ispy/internal/asmdb"
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+// key starts an artifact key covering the inputs every per-app artifact
+// shares: the workload generation parameters and the profiled input.
+func (a *App) key(kind string) *artifacts.Key {
+	return artifacts.NewKey(kind, a.Name).
+		Params(a.W.Params).
+		Input(workload.DefaultInput(a.W))
+}
+
+// stats loads the run statistics for k or computes (and stores) them.
+func (l *Lab) stats(k *artifacts.Key, compute func() *sim.Stats) *sim.Stats {
+	kind := k.Kind()
+	if !l.cache.Enabled() {
+		l.tel.CacheBypass(kind)
+		return timed(l, kind, compute)
+	}
+	if s, ok := l.cache.LoadStats(k); ok {
+		l.tel.CacheHit(kind)
+		l.tel.Progressf("hit      %s", k.Filename())
+		return s
+	}
+	l.tel.CacheMiss(kind)
+	s := timed(l, kind, compute)
+	l.cache.StoreStats(k, s)
+	return s
+}
+
+// profile loads the profile for k (rebinding it to the live workload and
+// input) or computes and stores it.
+func (l *Lab) profile(k *artifacts.Key, w *workload.Workload, in workload.Input, compute func() *profile.Profile) *profile.Profile {
+	kind := k.Kind()
+	if !l.cache.Enabled() {
+		l.tel.CacheBypass(kind)
+		return timed(l, kind, compute)
+	}
+	if p, ok := l.cache.LoadProfile(k, w, in); ok {
+		l.tel.CacheHit(kind)
+		l.tel.Progressf("hit      %s", k.Filename())
+		return p
+	}
+	l.tel.CacheMiss(kind)
+	p := timed(l, kind, compute)
+	l.cache.StoreProfile(k, p)
+	return p
+}
+
+// build loads the analysis build for k or computes and stores it. Cached
+// builds carry the injected program and plan counters only (no analysis
+// working state); every experiment consumes exactly that subset.
+func (l *Lab) build(k *artifacts.Key, compute func() *core.Build) *core.Build {
+	kind := k.Kind()
+	if !l.cache.Enabled() {
+		l.tel.CacheBypass(kind)
+		return timed(l, kind, compute)
+	}
+	if b, ok := l.cache.LoadBuild(k); ok {
+		l.tel.CacheHit(kind)
+		l.tel.Progressf("hit      %s", k.Filename())
+		return b
+	}
+	l.tel.CacheMiss(kind)
+	b := timed(l, kind, compute)
+	l.cache.StoreBuild(k, b)
+	return b
+}
+
+// timed runs compute under the per-artifact wall-time telemetry.
+func timed[T any](l *Lab, kind string, compute func() T) T {
+	start := time.Now()
+	v := compute()
+	d := time.Since(start)
+	l.tel.ObserveArtifact(kind, d)
+	l.tel.Progressf("computed %s in %.2fs", kind, d.Seconds())
+	return v
+}
+
+// ISPYVariant builds and runs an I-SPY variant reusing the prepared
+// evidence; cfg overrides the simulator configuration (HashBits follows
+// opt). Both the build and the run are cached per (options, configuration)
+// point, making sensitivity sweeps idempotent across harness runs.
+func (a *App) ISPYVariant(opt core.Options, cfg sim.Config) (*core.Build, *sim.Stats) {
+	if opt.HashBits != 0 {
+		cfg.HashBits = opt.HashBits
+	}
+	b := a.variantBuild(opt)
+	k := a.key("ispy-variant-run").SimConfig(a.SimCfg()).Options(opt).SimConfig(cfg)
+	st := a.lab.stats(k, func() *sim.Stats { return a.Run(b.Prog, cfg) })
+	return b, st
+}
+
+// ISPYVariantStats is ISPYVariant for callers that only need the run: on a
+// warm cache it serves the statistics without touching the build at all.
+func (a *App) ISPYVariantStats(opt core.Options, cfg sim.Config) *sim.Stats {
+	if opt.HashBits != 0 {
+		cfg.HashBits = opt.HashBits
+	}
+	k := a.key("ispy-variant-run").SimConfig(a.SimCfg()).Options(opt).SimConfig(cfg)
+	return a.lab.stats(k, func() *sim.Stats {
+		return a.Run(a.variantBuild(opt).Prog, cfg)
+	})
+}
+
+func (a *App) variantBuild(opt core.Options) *core.Build {
+	k := a.key("ispy-variant-build").SimConfig(a.SimCfg()).Options(opt)
+	return a.lab.build(k, func() *core.Build {
+		return core.BuildFromPrepared(a.Profile(), a.Prepared(), opt)
+	})
+}
+
+// FreshVariantStats builds I-SPY from scratch at buildCfg — required when
+// opt moves the prefetch-distance window, which re-labels the contexts the
+// shared Prepared evidence bakes in — runs the result under runCfg, and
+// caches the run.
+func (a *App) FreshVariantStats(opt core.Options, buildCfg, runCfg sim.Config) *sim.Stats {
+	if opt.HashBits != 0 {
+		runCfg.HashBits = opt.HashBits
+	}
+	k := a.key("ispy-fresh-run").SimConfig(buildCfg).Options(opt).SimConfig(runCfg)
+	return a.lab.stats(k, func() *sim.Stats {
+		b := core.BuildISPY(a.Profile(), buildCfg, opt)
+		return a.Run(b.Prog, runCfg)
+	})
+}
+
+// AsmDBAt builds and runs AsmDB at an explicit fan-out threshold (Fig. 3),
+// caching both artifacts per threshold.
+func (a *App) AsmDBAt(threshold float64) (*core.Build, *sim.Stats) {
+	bk := a.key("asmdb-th-build").SimConfig(a.SimCfg()).Options(core.DefaultOptions()).Float(threshold)
+	b := a.lab.build(bk, func() *core.Build {
+		return asmdb.Build(a.Profile(), threshold, core.DefaultOptions())
+	})
+	runCfg := asmdb.RunConfig(a.SimCfg())
+	rk := a.key("asmdb-th-run").SimConfig(a.SimCfg()).Options(core.DefaultOptions()).Float(threshold).SimConfig(runCfg)
+	st := a.lab.stats(rk, func() *sim.Stats { return a.Run(b.Prog, runCfg) })
+	return b, st
+}
+
+// RunCachedInput simulates prog under cfg with input in, caching the
+// statistics under kind. The program itself is not part of the key, so kind
+// must uniquely identify the recipe that produced prog (e.g. "ispy-drift"
+// for the default I-SPY build run on drifted inputs); cfg and in are folded
+// in full, including any profile-derived prefetch mask.
+func (a *App) RunCachedInput(kind string, prog *isa.Program, cfg sim.Config, in workload.Input) *sim.Stats {
+	k := artifacts.NewKey(kind, a.Name).Params(a.W.Params).SimConfig(cfg).Input(in)
+	return a.lab.stats(k, func() *sim.Stats { return a.RunInput(prog, cfg, in) })
+}

@@ -81,25 +81,30 @@ func runFig11(l *Lab) *Result {
 func runFig12(l *Lab) *Result {
 	type row struct{ cond, coal, both float64 }
 	rows := make([]row, len(l.Cfg.Apps))
-	l.ForEachApp(func(a *App) {
-		base := a.Base()
-		adb := a.AsmDBStats()
-		condOpt := core.DefaultOptions()
-		condOpt.Coalesce = false
-		_, condSt := a.ISPYVariant(condOpt, a.SimCfg())
-		coalOpt := core.DefaultOptions()
-		coalOpt.Conditional = false
-		_, coalSt := a.ISPYVariant(coalOpt, a.SimCfg())
-		both := a.ISPYStats()
-		rel := func(st uint64) float64 {
-			return (metrics.Speedup(base.Cycles, st)/metrics.Speedup(base.Cycles, adb.Cycles) - 1) * 100
-		}
-		for i, n := range l.Cfg.Apps {
-			if n == a.Name {
-				rows[i] = row{rel(condSt.Cycles), rel(coalSt.Cycles), rel(both.Cycles)}
-			}
-		}
-	})
+	// rel compares speedup gains against AsmDB's; base and AsmDB stats are
+	// memoized, so concurrent variant tasks share them.
+	rel := func(a *App, cycles uint64) float64 {
+		base, adb := a.Base(), a.AsmDBStats()
+		return (metrics.Speedup(base.Cycles, cycles)/metrics.Speedup(base.Cycles, adb.Cycles) - 1) * 100
+	}
+	g := l.Group()
+	for i, a := range l.Apps() {
+		i, a := i, a
+		g.Go(func() {
+			opt := core.DefaultOptions()
+			opt.Coalesce = false
+			rows[i].cond = rel(a, a.ISPYVariantStats(opt, a.SimCfg()).Cycles)
+		})
+		g.Go(func() {
+			opt := core.DefaultOptions()
+			opt.Conditional = false
+			rows[i].coal = rel(a, a.ISPYVariantStats(opt, a.SimCfg()).Cycles)
+		})
+		g.Go(func() {
+			rows[i].both = rel(a, a.ISPYStats().Cycles)
+		})
+	}
+	g.Wait()
 	t := metrics.NewTable("app", "conditional-only vs AsmDB", "coalescing-only vs AsmDB", "full I-SPY vs AsmDB")
 	condWins := 0
 	for i, name := range l.Cfg.Apps {
@@ -195,28 +200,45 @@ func runFig15(l *Lab) *Result {
 var fig16Apps = []string{"drupal", "mediawiki", "wordpress"}
 
 func runFig16(l *Lab) *Result {
+	type cell struct {
+		input  string
+		pa, pi float64
+	}
+	cells := make([][]cell, len(fig16Apps))
+	g := l.Group()
+	for ai, name := range fig16Apps {
+		a := l.App(name)
+		inputs := workload.DriftedInputs(a.W, 5)
+		cells[ai] = make([]cell, len(inputs))
+		for ii, in := range inputs {
+			ai, ii, in, a := ai, ii, in, a
+			g.Go(func() {
+				cfg := a.SimCfg()
+				base := a.RunCachedInput("drift-base", a.W.Prog, cfg, in)
+				idealCfg := cfg
+				idealCfg.Ideal = true
+				ideal := a.RunCachedInput("drift-ideal", a.W.Prog, idealCfg, in)
+				adb := a.RunCachedInput("drift-asmdb", a.AsmDB().Prog, asmdbRunCfg(cfg), in)
+				isp := a.RunCachedInput("drift-ispy", a.ISPY().Prog, cfg, in)
+				cells[ai][ii] = cell{
+					input: in.Name,
+					pa:    metrics.PctOfIdeal(base.Cycles, adb.Cycles, ideal.Cycles),
+					pi:    metrics.PctOfIdeal(base.Cycles, isp.Cycles, ideal.Cycles),
+				}
+			})
+		}
+	}
+	g.Wait()
 	t := metrics.NewTable("app", "input", "AsmDB %-of-ideal", "I-SPY %-of-ideal")
 	var worstISPY = 200.0
 	var ispyAll []float64
-	for _, name := range fig16Apps {
-		a := l.App(name)
-		adbProg := a.AsmDB().Prog
-		ispyProg := a.ISPY().Prog
-		for _, in := range workload.DriftedInputs(a.W, 5) {
-			cfg := a.SimCfg()
-			base := a.RunInput(a.W.Prog, cfg, in)
-			idealCfg := cfg
-			idealCfg.Ideal = true
-			ideal := a.RunInput(a.W.Prog, idealCfg, in)
-			adb := a.RunInput(adbProg, asmdbRunCfg(cfg), in)
-			isp := a.RunInput(ispyProg, cfg, in)
-			pa := metrics.PctOfIdeal(base.Cycles, adb.Cycles, ideal.Cycles)
-			pi := metrics.PctOfIdeal(base.Cycles, isp.Cycles, ideal.Cycles)
-			ispyAll = append(ispyAll, pi)
-			if pi < worstISPY {
-				worstISPY = pi
+	for ai, name := range fig16Apps {
+		for _, c := range cells[ai] {
+			ispyAll = append(ispyAll, c.pi)
+			if c.pi < worstISPY {
+				worstISPY = c.pi
 			}
-			t.AddRow(name, in.Name, fmtPct(pa), fmtPct(pi))
+			t.AddRow(name, c.input, fmtPct(c.pa), fmtPct(c.pi))
 		}
 	}
 	return &Result{

@@ -1,4 +1,6 @@
-// Sensitivity experiments: Figs. 17–21 (§VI-B).
+// Sensitivity experiments: Figs. 17–21 (§VI-B). Every sweep submits its
+// (application × setting) grid as individual tasks to the lab's shared
+// worker pool, so one slow point no longer serializes a whole app's column.
 package experiments
 
 import (
@@ -19,36 +21,62 @@ func init() {
 	register("fig21", "Sensitivity: context-hash size (false positives vs static footprint)", runFig21)
 }
 
+// meanAcc accumulates a mean from concurrent pool tasks. Tracking the count
+// (rather than assuming len(apps)) keeps the denominator honest when some
+// points are skipped.
+type meanAcc struct {
+	mu  sync.Mutex
+	sum float64
+	n   int
+}
+
+func (m *meanAcc) add(v float64) {
+	m.mu.Lock()
+	m.sum += v
+	m.n++
+	m.mu.Unlock()
+}
+
+func (m *meanAcc) mean() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
 func runFig17(l *Lab) *Result {
 	preds := []int{1, 2, 4, 8, 16, 32}
 	// One row per predecessor count; each cell is the mean % of ideal over
 	// apps for conditional-only I-SPY (the figure's subject).
-	means := make([]float64, len(preds))
-	type acc struct{ sum []float64 }
-	res := acc{sum: make([]float64, len(preds))}
-	l.ForEachApp(func(a *App) {
-		base := a.Base()
-		ideal := a.Ideal()
-		for i, k := range preds {
-			opt := core.DefaultOptions()
-			opt.Coalesce = false
-			opt.MaxPreds = k
-			opt.CandidatePool = k
-			if opt.CandidatePool < 8 {
-				opt.CandidatePool = 8
-			}
-			_, st := a.ISPYVariant(opt, a.SweepCfg())
-			// Sweep runs use the sweep budget; % of ideal needs matched
-			// base/ideal — rerun base and ideal at sweep budget once per
-			// app would be better, but base/ideal cycles scale linearly
-			// with instruction budget, so the ratio is budget-invariant.
-			pct := metrics.PctOfIdeal(scaleCycles(base, st), st.Cycles, scaleCycles(ideal, st))
-			addMean(&res.sum[i], pct)
+	accs := make([]meanAcc, len(preds))
+	g := l.Group()
+	for i, k := range preds {
+		i, k := i, k
+		for _, a := range l.Apps() {
+			a := a
+			g.Go(func() {
+				opt := core.DefaultOptions()
+				opt.Coalesce = false
+				opt.MaxPreds = k
+				opt.CandidatePool = k
+				if opt.CandidatePool < 8 {
+					opt.CandidatePool = 8
+				}
+				st := a.ISPYVariantStats(opt, a.SweepCfg())
+				// Sweep runs use the sweep budget; % of ideal needs matched
+				// base/ideal — base/ideal cycles scale linearly with the
+				// instruction budget, so the rescaled ratio is budget-invariant.
+				accs[i].add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+			})
 		}
-	})
+	}
+	g.Wait()
+	means := make([]float64, len(preds))
 	t := metrics.NewTable("predecessors in context", "avg % of ideal (conditional-only)")
 	for i, k := range preds {
-		means[i] = res.sum[i] / float64(len(l.Cfg.Apps))
+		means[i] = accs[i].mean()
 		t.AddRow(fmt.Sprint(k), fmtPct(means[i]))
 	}
 	trendUp := means[len(means)-1] >= means[0]
@@ -79,37 +107,40 @@ func runFig18(l *Lab) *Result {
 	minDists := []uint64{5, 10, 20, 27, 50, 100}
 	maxDists := []uint64{50, 100, 150, 200, 300, 400}
 
-	minMeans := make([]float64, len(minDists))
-	maxMeans := make([]float64, len(maxDists))
-	l.ForEachApp(func(a *App) {
-		base, ideal := a.Base(), a.Ideal()
-		prof := a.Profile()
-		evalAt := func(minD, maxD uint64) float64 {
+	minAccs := make([]meanAcc, len(minDists))
+	maxAccs := make([]meanAcc, len(maxDists))
+	g := l.Group()
+	// The window changes site selection, so the shared labeled-context
+	// evidence cannot be reused; each point builds fresh at sweep cost.
+	eval := func(a *App, minD, maxD uint64, acc *meanAcc) {
+		g.Go(func() {
 			opt := core.DefaultOptions()
 			opt.MinDistCycles = minD
 			opt.MaxDistCycles = maxD
-			// The window changes site selection, so the labeled-context
-			// cache cannot be reused; prepare fresh at sweep cost.
-			b := core.BuildISPY(prof, a.SweepCfg(), opt)
-			st := a.Run(b.Prog, a.SweepCfg())
-			return metrics.PctOfIdeal(scaleCycles(base, st), st.Cycles, scaleCycles(ideal, st))
-		}
-		for i, d := range minDists {
-			v := evalAt(d, 200)
-			addMean(&minMeans[i], v)
-		}
-		for i, d := range maxDists {
-			v := evalAt(27, d)
-			addMean(&maxMeans[i], v)
-		}
-	})
-	n := float64(len(l.Cfg.Apps))
-	t := metrics.NewTable("sweep", "value (cycles)", "avg % of ideal")
+			st := a.FreshVariantStats(opt, a.SweepCfg(), a.SweepCfg())
+			acc.add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+		})
+	}
 	for i, d := range minDists {
-		t.AddRow("min distance (max=200)", fmt.Sprint(d), fmtPct(minMeans[i]/n))
+		for _, a := range l.Apps() {
+			eval(a, d, 200, &minAccs[i])
+		}
 	}
 	for i, d := range maxDists {
-		t.AddRow("max distance (min=27)", fmt.Sprint(d), fmtPct(maxMeans[i]/n))
+		for _, a := range l.Apps() {
+			eval(a, 27, d, &maxAccs[i])
+		}
+	}
+	g.Wait()
+
+	t := metrics.NewTable("sweep", "value (cycles)", "avg % of ideal")
+	minMeans := make([]float64, len(minDists))
+	for i, d := range minDists {
+		minMeans[i] = minAccs[i].mean()
+		t.AddRow("min distance (max=200)", fmt.Sprint(d), fmtPct(minMeans[i]))
+	}
+	for i, d := range maxDists {
+		t.AddRow("max distance (min=27)", fmt.Sprint(d), fmtPct(maxAccs[i].mean()))
 	}
 	// Identify the best min distance for the summary.
 	bestMin := minDists[0]
@@ -129,39 +160,36 @@ func runFig18(l *Lab) *Result {
 	}
 }
 
-var meanMu sync.Mutex
-
-// addMean accumulates into a shared float from parallel app workers.
-func addMean(dst *float64, v float64) {
-	meanMu.Lock()
-	*dst += v
-	meanMu.Unlock()
-}
-
 func runFig19(l *Lab) *Result {
 	sizes := []int{1, 2, 4, 8, 16, 32, 64}
-	means := make([]float64, len(sizes))
-	l.ForEachApp(func(a *App) {
-		base, ideal := a.Base(), a.Ideal()
-		for i, bits := range sizes {
-			opt := core.DefaultOptions()
-			opt.Conditional = false // coalescing-only, the figure's subject
-			opt.CoalesceBits = bits
-			_, st := a.ISPYVariant(opt, a.SweepCfg())
-			addMean(&means[i], metrics.PctOfIdeal(scaleCycles(base, st), st.Cycles, scaleCycles(ideal, st)))
+	accs := make([]meanAcc, len(sizes))
+	g := l.Group()
+	for i, bits := range sizes {
+		i, bits := i, bits
+		for _, a := range l.Apps() {
+			a := a
+			g.Go(func() {
+				opt := core.DefaultOptions()
+				opt.Conditional = false // coalescing-only, the figure's subject
+				opt.CoalesceBits = bits
+				st := a.ISPYVariantStats(opt, a.SweepCfg())
+				accs[i].add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+			})
 		}
-	})
-	n := float64(len(l.Cfg.Apps))
+	}
+	g.Wait()
+	means := make([]float64, len(sizes))
 	t := metrics.NewTable("coalescing bits", "avg % of ideal (coalescing-only)")
 	for i, bits := range sizes {
-		t.AddRow(fmt.Sprint(bits), fmtPct(means[i]/n))
+		means[i] = accs[i].mean()
+		t.AddRow(fmt.Sprint(bits), fmtPct(means[i]))
 	}
 	return &Result{
 		ID:    "fig19",
 		Title: "Larger coalescing bitmasks help, slowly",
 		Paper: "gains grow slightly with bitmask size; 8 bits is chosen as the complexity sweet spot",
 		Measured: fmt.Sprintf("%.0f%% of ideal at 1 bit → %.0f%% at 8 bits → %.0f%% at 64 bits",
-			means[0]/n, means[3]/n, means[len(sizes)-1]/n),
+			means[0], means[3], means[len(sizes)-1]),
 		Table: t,
 	}
 }
@@ -221,18 +249,26 @@ func runFig20(l *Lab) *Result {
 func runFig21(l *Lab) *Result {
 	a := l.App(fig3App) // wordpress, as in the paper
 	sizes := []int{4, 8, 16, 32, 64}
+	type cell struct{ fp, static float64 }
+	cells := make([]cell, len(sizes))
+	g := l.Group()
+	for i, bits := range sizes {
+		i, bits := i, bits
+		g.Go(func() {
+			opt := core.DefaultOptions()
+			opt.HashBits = bits
+			b, st := a.ISPYVariant(opt, a.SweepCfg())
+			cells[i] = cell{st.CondFalsePositiveRate() * 100, b.StaticIncrease(a.W.Prog) * 100}
+		})
+	}
+	g.Wait()
 	t := metrics.NewTable("context-hash bits", "false-positive rate", "static footprint increase")
 	var fp16, static16 float64
-	for _, bits := range sizes {
-		opt := core.DefaultOptions()
-		opt.HashBits = bits
-		b, st := a.ISPYVariant(opt, a.SweepCfg())
-		fp := st.CondFalsePositiveRate() * 100
-		inc := b.StaticIncrease(a.W.Prog) * 100
+	for i, bits := range sizes {
 		if bits == 16 {
-			fp16, static16 = fp, inc
+			fp16, static16 = cells[i].fp, cells[i].static
 		}
-		t.AddRow(fmt.Sprint(bits), fmtPct(fp), fmtPct(inc))
+		t.AddRow(fmt.Sprint(bits), fmtPct(cells[i].fp), fmtPct(cells[i].static))
 	}
 	return &Result{
 		ID:    "fig21",

@@ -1,19 +1,26 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Table I, Figs. 1–21; the per-experiment index lives in
 // DESIGN.md §3). Each experiment is a named function over a Lab, which
-// lazily computes and caches the per-application artifacts most experiments
-// share: the baseline and ideal-cache runs, the profile, and the AsmDB and
-// I-SPY builds with their evaluation runs.
+// lazily computes and memoizes the per-application artifacts most
+// experiments share: the baseline and ideal-cache runs, the profile, and the
+// AsmDB and I-SPY builds with their evaluation runs. When the Lab is given a
+// cache directory, every artifact is additionally persisted on disk
+// (internal/artifacts) so repeated harness runs skip recomputation entirely.
 package experiments
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 
+	"ispy/internal/artifacts"
 	"ispy/internal/asmdb"
 	"ispy/internal/core"
 	"ispy/internal/isa"
+	"ispy/internal/metrics"
 	"ispy/internal/profile"
 	"ispy/internal/sim"
 	"ispy/internal/workload"
@@ -30,8 +37,16 @@ type Config struct {
 	// SweepInstrs / SweepWarmup configure sensitivity-sweep runs.
 	SweepInstrs uint64
 	SweepWarmup uint64
-	// Parallel runs independent per-app work on all cores.
+	// Parallel runs independent work on all cores.
 	Parallel bool
+	// Jobs bounds the shared worker pool. 0 means GOMAXPROCS when Parallel
+	// is set and 1 otherwise; Parallel=false forces 1 regardless.
+	Jobs int
+	// CacheDir, when non-empty, persists artifacts across runs (see
+	// internal/artifacts). Empty disables the on-disk cache.
+	CacheDir string
+	// Verbose streams per-artifact progress lines to stderr.
+	Verbose bool
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -61,11 +76,36 @@ func QuickConfig() Config {
 	}
 }
 
-// Lab owns the per-application artifact cache.
+// WithMeasureInstrs returns a copy of c whose headline budget is n
+// instructions, with the warmup and sweep budgets rescaled by the same
+// factor so the configuration's warmup/measure and sweep/measure proportions
+// are preserved. (Rescaling only the measured budgets would let the fixed
+// warmups swallow — or exceed — the measurement window.)
+func (c Config) WithMeasureInstrs(n uint64) Config {
+	if n == 0 || c.MeasureInstrs == 0 {
+		return c
+	}
+	f := float64(n) / float64(c.MeasureInstrs)
+	scale := func(v uint64) uint64 { return uint64(float64(v) * f) }
+	out := c
+	out.WarmupInstrs = scale(c.WarmupInstrs)
+	out.SweepInstrs = scale(c.SweepInstrs)
+	out.SweepWarmup = scale(c.SweepWarmup)
+	out.MeasureInstrs = n
+	return out
+}
+
+// Lab owns the per-application artifact memos, the shared worker pool, the
+// optional on-disk artifact cache, and the run telemetry.
 type Lab struct {
 	Cfg  Config
 	mu   sync.Mutex
 	apps map[string]*App
+
+	pool     *Pool
+	tel      *metrics.Telemetry
+	cache    *artifacts.Cache
+	cacheErr error
 }
 
 // NewLab creates a lab over cfg (zero fields take defaults).
@@ -86,28 +126,74 @@ func NewLab(cfg Config) *Lab {
 	if cfg.SweepWarmup == 0 {
 		cfg.SweepWarmup = d.SweepWarmup
 	}
-	return &Lab{Cfg: cfg, apps: make(map[string]*App)}
+	jobs := 1
+	if cfg.Parallel {
+		jobs = cfg.Jobs
+		if jobs <= 0 {
+			jobs = runtime.GOMAXPROCS(0)
+		}
+	}
+	var out io.Writer
+	if cfg.Verbose {
+		out = os.Stderr
+	}
+	l := &Lab{
+		Cfg:  cfg,
+		apps: make(map[string]*App),
+		pool: NewPool(jobs),
+		tel:  metrics.NewTelemetry(out),
+	}
+	if cfg.CacheDir != "" {
+		c, err := artifacts.Open(cfg.CacheDir)
+		if err != nil {
+			l.cacheErr = err
+		} else {
+			l.cache = c
+		}
+	}
+	return l
 }
 
-// App bundles one application's cached artifacts. All getters are
-// memoized and safe for concurrent use.
+// Telemetry returns the lab's run telemetry (never nil).
+func (l *Lab) Telemetry() *metrics.Telemetry { return l.tel }
+
+// Pool returns the shared worker pool.
+func (l *Lab) Pool() *Pool { return l.pool }
+
+// Group starts a task group on the shared pool.
+func (l *Lab) Group() *Group { return l.pool.Group() }
+
+// memo is a write-once cell: concurrent callers of get observe exactly one
+// evaluation of f. Distinct memos make independent artifacts of one App
+// computable in parallel (the old single-mutex design serialized them).
+type memo[T any] struct {
+	once sync.Once
+	v    T
+}
+
+func (m *memo[T]) get(f func() T) T {
+	m.once.Do(func() { m.v = f() })
+	return m.v
+}
+
+// App bundles one application's memoized artifacts. All getters are safe for
+// concurrent use; independent artifacts compute concurrently.
 type App struct {
 	Name string
 	W    *workload.Workload
 	lab  *Lab
 
-	mu        sync.Mutex
-	base      *sim.Stats
-	ideal     *sim.Stats
-	prof      *profile.Profile
-	asmdb     *core.Build
-	asmdbStat *sim.Stats
-	ispy      *core.Build
-	ispyStat  *sim.Stats
-	prepared  *core.Prepared
+	base      memo[*sim.Stats]
+	ideal     memo[*sim.Stats]
+	prof      memo[*profile.Profile]
+	asmdbB    memo[*core.Build]
+	asmdbStat memo[*sim.Stats]
+	ispyB     memo[*core.Build]
+	ispyStat  memo[*sim.Stats]
+	prepared  memo[*core.Prepared]
 }
 
-// App returns (creating on first use) the cached artifacts for name.
+// App returns (creating on first use) the artifacts for name.
 func (l *Lab) App(name string) *App {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -128,27 +214,14 @@ func (l *Lab) Apps() []*App {
 	return out
 }
 
-// ForEachApp runs f over every configured app, in parallel when enabled.
+// ForEachApp runs f over every configured app through the shared pool.
 func (l *Lab) ForEachApp(f func(*App)) {
-	apps := l.Apps()
-	if !l.Cfg.Parallel {
-		for _, a := range apps {
-			f(a)
-		}
-		return
+	g := l.Group()
+	for _, a := range l.Apps() {
+		a := a
+		g.Go(func() { f(a) })
 	}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for _, a := range apps {
-		wg.Add(1)
-		go func(a *App) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			f(a)
-		}(a)
-	}
-	wg.Wait()
+	g.Wait()
 }
 
 // SimCfg returns the headline simulator configuration for this app.
@@ -180,117 +253,103 @@ func (a *App) RunInput(prog *isa.Program, cfg sim.Config, in workload.Input) *si
 
 // Base returns the no-prefetching baseline run.
 func (a *App) Base() *sim.Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.base == nil {
-		a.base = a.Run(a.W.Prog, a.SimCfg())
-	}
-	return a.base
+	return a.base.get(func() *sim.Stats {
+		cfg := a.SimCfg()
+		return a.lab.stats(a.key("base").SimConfig(cfg), func() *sim.Stats {
+			return a.Run(a.W.Prog, cfg)
+		})
+	})
 }
 
 // Ideal returns the ideal-cache (no-miss) run.
 func (a *App) Ideal() *sim.Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.ideal == nil {
+	return a.ideal.get(func() *sim.Stats {
 		cfg := a.SimCfg()
 		cfg.Ideal = true
-		a.ideal = a.Run(a.W.Prog, cfg)
-	}
-	return a.ideal
+		return a.lab.stats(a.key("ideal").SimConfig(cfg), func() *sim.Stats {
+			return a.Run(a.W.Prog, cfg)
+		})
+	})
 }
 
 // Profile returns the baseline profiling pass.
 func (a *App) Profile() *profile.Profile {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.profileLocked()
-}
-
-func (a *App) profileLocked() *profile.Profile {
-	if a.prof == nil {
-		a.prof = profile.Collect(a.W, workload.DefaultInput(a.W), a.SimCfg())
-	}
-	return a.prof
+	return a.prof.get(func() *profile.Profile {
+		cfg := a.SimCfg()
+		in := workload.DefaultInput(a.W)
+		return a.lab.profile(a.key("profile").SimConfig(cfg), a.W, in, func() *profile.Profile {
+			return profile.Collect(a.W, in, cfg)
+		})
+	})
 }
 
 // AsmDB returns the AsmDB build at its default threshold.
 func (a *App) AsmDB() *core.Build {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.asmdb == nil {
-		a.asmdb = asmdb.BuildDefault(a.profileLocked(), core.DefaultOptions())
-	}
-	return a.asmdb
+	return a.asmdbB.get(func() *core.Build {
+		k := a.key("asmdb-build").SimConfig(a.SimCfg()).Options(core.DefaultOptions())
+		return a.lab.build(k, func() *core.Build {
+			return asmdb.BuildDefault(a.Profile(), core.DefaultOptions())
+		})
+	})
 }
 
 // AsmDBStats returns the AsmDB evaluation run (demand-priority prefetch
 // inserts; see asmdb.RunConfig).
 func (a *App) AsmDBStats() *sim.Stats {
-	b := a.AsmDB()
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.asmdbStat == nil {
-		a.asmdbStat = a.Run(b.Prog, asmdb.RunConfig(a.SimCfg()))
-	}
-	return a.asmdbStat
+	return a.asmdbStat.get(func() *sim.Stats {
+		runCfg := asmdb.RunConfig(a.SimCfg())
+		k := a.key("asmdb-run").SimConfig(a.SimCfg()).Options(core.DefaultOptions()).SimConfig(runCfg)
+		return a.lab.stats(k, func() *sim.Stats {
+			return a.Run(a.AsmDB().Prog, runCfg)
+		})
+	})
 }
 
 // Prepared returns the default-options analysis intermediates (shared by
-// sweeps that reuse labeled contexts).
+// sweeps that reuse labeled contexts). The context evidence is an in-memory
+// working set, not a persisted artifact: on a warm cache every downstream
+// build and run hits, so Prepare is never reached.
 func (a *App) Prepared() *core.Prepared {
-	p := a.Profile()
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.prepared == nil {
-		a.prepared = core.Prepare(p, a.SimCfg(), core.DefaultOptions())
-	}
-	return a.prepared
+	return a.prepared.get(func() *core.Prepared {
+		a.lab.tel.CacheBypass("prepared")
+		return core.Prepare(a.Profile(), a.SimCfg(), core.DefaultOptions())
+	})
 }
 
 // ISPY returns the full I-SPY build at default options.
 func (a *App) ISPY() *core.Build {
-	prep := a.Prepared()
-	p := a.Profile()
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.ispy == nil {
-		a.ispy = core.BuildFromPrepared(p, prep, core.DefaultOptions())
-	}
-	return a.ispy
+	return a.ispyB.get(func() *core.Build {
+		k := a.key("ispy-build").SimConfig(a.SimCfg()).Options(core.DefaultOptions())
+		return a.lab.build(k, func() *core.Build {
+			return core.BuildFromPrepared(a.Profile(), a.Prepared(), core.DefaultOptions())
+		})
+	})
 }
 
 // ISPYStats returns the I-SPY evaluation run.
 func (a *App) ISPYStats() *sim.Stats {
-	b := a.ISPY()
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.ispyStat == nil {
-		a.ispyStat = a.Run(b.Prog, a.SimCfg())
-	}
-	return a.ispyStat
-}
-
-// ISPYVariant builds and runs an I-SPY variant reusing the prepared
-// evidence; cfg overrides the simulator configuration (HashBits follows
-// opt). Not memoized.
-func (a *App) ISPYVariant(opt core.Options, cfg sim.Config) (*core.Build, *sim.Stats) {
-	b := core.BuildFromPrepared(a.Profile(), a.Prepared(), opt)
-	if opt.HashBits != 0 {
-		cfg.HashBits = opt.HashBits
-	}
-	return b, a.Run(b.Prog, cfg)
+	return a.ispyStat.get(func() *sim.Stats {
+		cfg := a.SimCfg()
+		k := a.key("ispy-run").SimConfig(cfg).Options(core.DefaultOptions())
+		return a.lab.stats(k, func() *sim.Stats {
+			return a.Run(a.ISPY().Prog, cfg)
+		})
+	})
 }
 
 // Warm computes the default artifact set (base, ideal, profile, AsmDB,
-// I-SPY and their runs) for all configured apps in parallel.
+// I-SPY and their runs) for all configured apps, submitting each artifact as
+// its own pool task so the whole run saturates the pool even with one app.
 func (l *Lab) Warm() {
-	l.ForEachApp(func(a *App) {
-		a.Base()
-		a.Ideal()
-		a.AsmDBStats()
-		a.ISPYStats()
-	})
+	g := l.Group()
+	for _, a := range l.Apps() {
+		a := a
+		g.Go(func() { a.Base() })
+		g.Go(func() { a.Ideal() })
+		g.Go(func() { a.AsmDBStats() })
+		g.Go(func() { a.ISPYStats() })
+	}
+	g.Wait()
 }
 
 // appCheck verifies the lab config references known apps early.
@@ -304,11 +363,26 @@ func (l *Lab) appCheck() error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("experiments: unknown app %q", n)
+			return fmt.Errorf("experiments: unknown app %q (valid apps: %s)",
+				n, strings.Join(workload.AppNames, ", "))
 		}
 	}
 	return nil
 }
 
-// Validate checks the configuration.
-func (l *Lab) Validate() error { return l.appCheck() }
+// Validate checks the configuration: known apps, a warmup that leaves room
+// to measure, and a usable cache directory when one was requested.
+func (l *Lab) Validate() error {
+	if l.cacheErr != nil {
+		return fmt.Errorf("experiments: cache: %w", l.cacheErr)
+	}
+	if l.Cfg.WarmupInstrs >= l.Cfg.MeasureInstrs {
+		return fmt.Errorf("experiments: warmup (%d instrs) must be below the measured budget (%d instrs)",
+			l.Cfg.WarmupInstrs, l.Cfg.MeasureInstrs)
+	}
+	if l.Cfg.SweepWarmup >= l.Cfg.SweepInstrs {
+		return fmt.Errorf("experiments: sweep warmup (%d instrs) must be below the sweep budget (%d instrs)",
+			l.Cfg.SweepWarmup, l.Cfg.SweepInstrs)
+	}
+	return l.appCheck()
+}

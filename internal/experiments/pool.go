@@ -1,0 +1,105 @@
+// The run-wide worker pool: one bounded set of execution slots shared by
+// every level of the harness — per-app artifact computation and per-sweep-
+// point variant runs alike — so a 9-app × 6-point sweep saturates all cores
+// instead of idling on the longest app.
+//
+// The design is deliberately deadlock-free under nesting: tasks never block
+// waiting for a slot. Group.Go either claims a free slot (async) or queues
+// the task locally; Group.Wait drains the queue, handing tasks to slots as
+// they free up and running them inline otherwise. A task that itself opens a
+// sub-Group and Waits on it therefore always makes progress — worst case it
+// runs its subtasks inline in its own slot.
+package experiments
+
+import "sync"
+
+// Pool is a bounded set of execution slots. Size ≤ 1 degenerates to strict
+// sequential inline execution (deterministic ordering, no goroutines) — the
+// behavior of the -seq flag.
+type Pool struct {
+	sem chan struct{} // nil for sequential pools
+}
+
+// NewPool creates a pool with the given number of slots.
+func NewPool(size int) *Pool {
+	if size <= 1 {
+		return &Pool{}
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Size returns the slot count (1 for sequential pools).
+func (p *Pool) Size() int {
+	if p == nil || p.sem == nil {
+		return 1
+	}
+	return cap(p.sem)
+}
+
+// Group collects related tasks submitted to one pool so the submitter can
+// wait for exactly its own work. Groups are cheap; create one per fan-out.
+type Group struct {
+	p  *Pool
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	pending []func()
+}
+
+// Group starts an empty task group on the pool.
+func (p *Pool) Group() *Group { return &Group{p: p} }
+
+// Go submits one task. If a pool slot is free the task runs concurrently;
+// otherwise it is queued and executed during Wait (possibly inline in the
+// waiter). On a sequential pool the task runs inline immediately, preserving
+// submission order.
+func (g *Group) Go(f func()) {
+	if g.p == nil || g.p.sem == nil {
+		f()
+		return
+	}
+	select {
+	case g.p.sem <- struct{}{}:
+		g.spawn(f)
+	default:
+		g.mu.Lock()
+		g.pending = append(g.pending, f)
+		g.mu.Unlock()
+	}
+}
+
+// spawn runs f on its own goroutine; the caller must already hold a slot.
+func (g *Group) spawn(f func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.p.sem }()
+		f()
+	}()
+}
+
+// Wait drains the group's queued tasks — handing each to a freed slot when
+// one is available, running it inline otherwise — then blocks until every
+// spawned task has finished.
+func (g *Group) Wait() {
+	if g.p == nil || g.p.sem == nil {
+		return
+	}
+	for {
+		g.mu.Lock()
+		if len(g.pending) == 0 {
+			g.mu.Unlock()
+			break
+		}
+		f := g.pending[0]
+		g.pending = g.pending[1:]
+		g.mu.Unlock()
+		select {
+		case g.p.sem <- struct{}{}:
+			g.spawn(f)
+		default:
+			f()
+		}
+	}
+	g.wg.Wait()
+}

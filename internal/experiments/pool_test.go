@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSequentialPoolRunsInlineInOrder(t *testing.T) {
+	p := NewPool(1)
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	var order []int
+	g := p.Group()
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() { order = append(order, i) })
+	}
+	g.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential pool reordered tasks: %v", order)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const size = 3
+	p := NewPool(size)
+	var live, peak, ran int32
+	var mu sync.Mutex
+	g := p.Group()
+	for i := 0; i < 50; i++ {
+		g.Go(func() {
+			n := atomic.AddInt32(&live, 1)
+			mu.Lock()
+			if n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			atomic.AddInt32(&ran, 1)
+			atomic.AddInt32(&live, -1)
+		})
+	}
+	g.Wait()
+	if ran != 50 {
+		t.Errorf("ran %d of 50 tasks", ran)
+	}
+	// The waiter may run one queued task inline while `size` slots are
+	// occupied, so the observable peak is size+1.
+	if peak > size+1 {
+		t.Errorf("peak concurrency %d exceeds pool size %d (+1 inline)", peak, size)
+	}
+}
+
+// TestNestedGroupsDoNotDeadlock is the regression test for the scheduler's
+// core property: a pool task that opens its own group and waits on it must
+// always make progress, even when every slot is busy doing exactly that.
+func TestNestedGroupsDoNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var ran int32
+	outer := p.Group()
+	for i := 0; i < 8; i++ {
+		outer.Go(func() {
+			inner := p.Group()
+			for j := 0; j < 8; j++ {
+				inner.Go(func() { atomic.AddInt32(&ran, 1) })
+			}
+			inner.Wait()
+		})
+	}
+	outer.Wait()
+	if ran != 64 {
+		t.Errorf("ran %d of 64 nested tasks", ran)
+	}
+}
+
+func TestGroupWaitDrainsQueuedTasks(t *testing.T) {
+	p := NewPool(2)
+	var ran int32
+	g := p.Group()
+	// Submit far more tasks than slots so most of them land in the queue.
+	for i := 0; i < 200; i++ {
+		g.Go(func() { atomic.AddInt32(&ran, 1) })
+	}
+	g.Wait()
+	if ran != 200 {
+		t.Errorf("ran %d of 200 tasks", ran)
+	}
+	// A drained group is reusable for a second round.
+	for i := 0; i < 10; i++ {
+		g.Go(func() { atomic.AddInt32(&ran, 1) })
+	}
+	g.Wait()
+	if ran != 210 {
+		t.Errorf("second round ran %d of 210 total", ran)
+	}
+}
+
+// TestLabConcurrentGetters hammers every memoized getter and the variant
+// helpers from many goroutines; run under -race this is the regression test
+// for the per-artifact memoization replacing the old single App mutex.
+func TestLabConcurrentGetters(t *testing.T) {
+	l := NewLab(Config{
+		Apps:          []string{"tomcat"},
+		MeasureInstrs: 120_000,
+		WarmupInstrs:  30_000,
+		SweepInstrs:   60_000,
+		SweepWarmup:   15_000,
+		Parallel:      true,
+		Jobs:          4,
+	})
+	a := l.App("tomcat")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if a.Base() != a.Base() || a.Ideal() != a.Ideal() {
+				t.Error("base/ideal not memoized under concurrency")
+			}
+			if a.Profile() != a.Profile() || a.ISPY() != a.ISPY() {
+				t.Error("profile/build not memoized under concurrency")
+			}
+			a.AsmDBStats()
+			a.ISPYStats()
+			a.ISPYVariantStats(smokeVariantOpt(), a.SweepCfg())
+		}()
+	}
+	// Pool-submitted work races against the direct getters above.
+	l.Warm()
+	wg.Wait()
+	if l.Telemetry().Bypasses() == 0 {
+		t.Error("cache-less lab recorded no bypasses")
+	}
+}

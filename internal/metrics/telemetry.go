@@ -1,0 +1,172 @@
+// Run telemetry: per-artifact wall time, artifact-cache hit/miss/bypass
+// counters, and live progress lines for the experiment harness. A Telemetry
+// is shared by every worker of a run, so all methods are safe for concurrent
+// use; the zero of everything (a nil *Telemetry) is a valid no-op sink, so
+// instrumented code never needs to guard call sites.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Telemetry accumulates one run's instrumentation. Counters are keyed by
+// artifact kind ("base", "profile", "ispy-build", …).
+type Telemetry struct {
+	mu  sync.Mutex
+	out io.Writer // nil: count but print nothing
+
+	kinds map[string]*kindStats
+	start time.Time
+}
+
+// kindStats is one artifact kind's accumulated counters.
+type kindStats struct {
+	hits, misses, bypass uint64
+	computes             uint64
+	wall                 time.Duration
+}
+
+// NewTelemetry returns a telemetry sink. out receives live progress lines
+// (pass nil to collect counters silently).
+func NewTelemetry(out io.Writer) *Telemetry {
+	return &Telemetry{out: out, kinds: make(map[string]*kindStats), start: time.Now()}
+}
+
+func (t *Telemetry) kind(k string) *kindStats {
+	s := t.kinds[k]
+	if s == nil {
+		s = &kindStats{}
+		t.kinds[k] = s
+	}
+	return s
+}
+
+// CacheHit records that kind was served from the artifact cache.
+func (t *Telemetry) CacheHit(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.kind(kind).hits++
+	t.mu.Unlock()
+}
+
+// CacheMiss records that kind had to be computed (and will be stored).
+func (t *Telemetry) CacheMiss(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.kind(kind).misses++
+	t.mu.Unlock()
+}
+
+// CacheBypass records a computation that never consulted the cache (no cache
+// configured, or the artifact kind is not cacheable).
+func (t *Telemetry) CacheBypass(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.kind(kind).bypass++
+	t.mu.Unlock()
+}
+
+// ObserveArtifact records d of wall time spent computing one artifact of the
+// given kind.
+func (t *Telemetry) ObserveArtifact(kind string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	s := t.kind(kind)
+	s.computes++
+	s.wall += d
+	t.mu.Unlock()
+}
+
+// Progressf emits one live progress line (when an output writer is set),
+// prefixed with the elapsed run time.
+func (t *Telemetry) Progressf(format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.out == nil {
+		return
+	}
+	fmt.Fprintf(t.out, "[%7.2fs] %s\n", time.Since(t.start).Seconds(), fmt.Sprintf(format, args...))
+}
+
+// Hits returns the total cache hits across kinds.
+func (t *Telemetry) Hits() uint64 { return t.total(func(s *kindStats) uint64 { return s.hits }) }
+
+// Misses returns the total cache misses across kinds.
+func (t *Telemetry) Misses() uint64 { return t.total(func(s *kindStats) uint64 { return s.misses }) }
+
+// Bypasses returns the total cache bypasses across kinds.
+func (t *Telemetry) Bypasses() uint64 { return t.total(func(s *kindStats) uint64 { return s.bypass }) }
+
+func (t *Telemetry) total(f func(*kindStats) uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, s := range t.kinds {
+		n += f(s)
+	}
+	return n
+}
+
+// Summary renders the per-kind counter table plus totals.
+func (t *Telemetry) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.kinds))
+	for k := range t.kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	tab := NewTable("artifact", "hits", "misses", "bypass", "computed", "wall")
+	var hits, misses, bypass, computes uint64
+	var wall time.Duration
+	for _, k := range names {
+		s := t.kinds[k]
+		hits += s.hits
+		misses += s.misses
+		bypass += s.bypass
+		computes += s.computes
+		wall += s.wall
+		tab.AddRow(k, fmt.Sprint(s.hits), fmt.Sprint(s.misses), fmt.Sprint(s.bypass),
+			fmt.Sprint(s.computes), fmtDur(s.wall))
+	}
+	tab.AddRow("total", fmt.Sprint(hits), fmt.Sprint(misses), fmt.Sprint(bypass),
+		fmt.Sprint(computes), fmtDur(wall))
+	var b strings.Builder
+	fmt.Fprintf(&b, "run telemetry (elapsed %.1fs, artifact wall time %s):\n", time.Since(t.start).Seconds(), fmtDur(wall))
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// fmtDur renders a duration compactly for the summary table.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

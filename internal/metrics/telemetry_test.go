@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTelemetryCounters(t *testing.T) {
+	tel := NewTelemetry(nil)
+	tel.CacheHit("base")
+	tel.CacheHit("base")
+	tel.CacheMiss("profile")
+	tel.CacheBypass("prepared")
+	tel.ObserveArtifact("profile", 3*time.Millisecond)
+	if tel.Hits() != 2 || tel.Misses() != 1 || tel.Bypasses() != 1 {
+		t.Errorf("counters = %d/%d/%d, want 2/1/1", tel.Hits(), tel.Misses(), tel.Bypasses())
+	}
+	s := tel.Summary()
+	for _, want := range []string{"base", "profile", "prepared", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.CacheHit("x")
+	tel.CacheMiss("x")
+	tel.CacheBypass("x")
+	tel.ObserveArtifact("x", time.Second)
+	tel.Progressf("ignored %d", 1)
+	if tel.Hits() != 0 || tel.Summary() != "" {
+		t.Error("nil telemetry must be a no-op sink")
+	}
+}
+
+func TestTelemetryProgressOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tel := NewTelemetry(&buf)
+	tel.Progressf("computed %s in %dms", "base", 12)
+	if !strings.Contains(buf.String(), "computed base in 12ms") {
+		t.Errorf("progress line missing: %q", buf.String())
+	}
+	silent := NewTelemetry(nil)
+	silent.Progressf("never printed")
+}
+
+// TestTelemetryConcurrent exercises every counter from many goroutines; run
+// under -race this is the data-race regression test for the shared sink.
+func TestTelemetryConcurrent(t *testing.T) {
+	tel := NewTelemetry(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tel.CacheHit("a")
+				tel.CacheMiss("b")
+				tel.CacheBypass("c")
+				tel.ObserveArtifact("a", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if tel.Hits() != 1600 || tel.Misses() != 1600 || tel.Bypasses() != 1600 {
+		t.Errorf("lost updates: %d/%d/%d", tel.Hits(), tel.Misses(), tel.Bypasses())
+	}
+}

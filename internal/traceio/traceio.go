@@ -20,14 +20,17 @@ import (
 	"io"
 	"math"
 
+	"ispy/internal/cache"
 	"ispy/internal/cfg"
 	"ispy/internal/isa"
+	"ispy/internal/sim"
 )
 
 // Magic numbers and version for the container format.
 const (
 	programMagic = 0x49535059 // "ISPY"
 	profileMagic = 0x49535046 // "ISPF"
+	statsMagic   = 0x49535354 // "ISST"
 	version      = 2
 )
 
@@ -362,6 +365,85 @@ func ReadProfile(r io.Reader) (*ProfileData, error) {
 		return nil, d.err
 	}
 	return pd, nil
+}
+
+// WriteStats serializes one simulation run's statistics. The artifact cache
+// uses this to persist baseline/ideal/evaluation runs so repeated harness
+// invocations skip re-simulation.
+func WriteStats(w io.Writer, s *sim.Stats) error {
+	e := newWriter(w)
+	e.uvarint(statsMagic)
+	e.uvarint(version)
+	e.uvarint(s.Instrs)
+	e.uvarint(s.BaseInstrs)
+	e.uvarint(s.Blocks)
+	e.uvarint(s.Cycles)
+	e.uvarint(s.IssueCycles)
+	e.uvarint(s.BackendCycles)
+	e.uvarint(s.StallCycles)
+	e.uvarint(s.FullStallCycles)
+	e.uvarint(s.LineFetches)
+	e.uvarint(s.L1IMisses)
+	e.uvarint(s.LateWaits)
+	e.uvarint(s.DynPrefetchInstrs)
+	e.uvarint(s.PrefetchLinesIssued)
+	e.uvarint(s.CondExecuted)
+	e.uvarint(s.CondFired)
+	e.uvarint(s.CondSuppressed)
+	e.uvarint(s.CondFalseFires)
+	for _, cs := range []cache.Stats{s.L1I, s.L2, s.L3} {
+		e.uvarint(cs.Accesses)
+		e.uvarint(cs.Misses)
+		e.uvarint(cs.PrefetchInserts)
+		e.uvarint(cs.PrefetchUseful)
+		e.uvarint(cs.PrefetchUseless)
+		e.uvarint(cs.PrefetchLate)
+		e.uvarint(cs.PrefetchRedundant)
+	}
+	return e.flush()
+}
+
+// ReadStats deserializes statistics written by WriteStats.
+func ReadStats(r io.Reader) (*sim.Stats, error) {
+	d := newReader(r)
+	if m := d.uvarint(); d.err == nil && m != statsMagic {
+		return nil, fmt.Errorf("traceio: bad stats magic %#x", m)
+	}
+	if v := d.uvarint(); d.err == nil && v != version {
+		return nil, fmt.Errorf("traceio: unsupported stats version %d", v)
+	}
+	s := &sim.Stats{
+		Instrs:              d.uvarint(),
+		BaseInstrs:          d.uvarint(),
+		Blocks:              d.uvarint(),
+		Cycles:              d.uvarint(),
+		IssueCycles:         d.uvarint(),
+		BackendCycles:       d.uvarint(),
+		StallCycles:         d.uvarint(),
+		FullStallCycles:     d.uvarint(),
+		LineFetches:         d.uvarint(),
+		L1IMisses:           d.uvarint(),
+		LateWaits:           d.uvarint(),
+		DynPrefetchInstrs:   d.uvarint(),
+		PrefetchLinesIssued: d.uvarint(),
+		CondExecuted:        d.uvarint(),
+		CondFired:           d.uvarint(),
+		CondSuppressed:      d.uvarint(),
+		CondFalseFires:      d.uvarint(),
+	}
+	for _, cs := range []*cache.Stats{&s.L1I, &s.L2, &s.L3} {
+		cs.Accesses = d.uvarint()
+		cs.Misses = d.uvarint()
+		cs.PrefetchInserts = d.uvarint()
+		cs.PrefetchUseful = d.uvarint()
+		cs.PrefetchUseless = d.uvarint()
+		cs.PrefetchLate = d.uvarint()
+		cs.PrefetchRedundant = d.uvarint()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return s, nil
 }
 
 func sortedKeys(m map[int32]uint64) []int32 {

@@ -196,3 +196,41 @@ func TestEmptyGraphRoundTrip(t *testing.T) {
 		t.Error("empty graph corrupted")
 	}
 }
+
+func TestStatsRoundTrip(t *testing.T) {
+	s := &sim.Stats{
+		Instrs: 123456, BaseInstrs: 120000, Blocks: 9876,
+		Cycles: 555555, IssueCycles: 1, BackendCycles: 2, StallCycles: 3,
+		FullStallCycles: 4, LineFetches: 5, L1IMisses: 6, LateWaits: 7,
+		DynPrefetchInstrs: 8, PrefetchLinesIssued: 9,
+		CondExecuted: 10, CondFired: 11, CondSuppressed: 12, CondFalseFires: 13,
+	}
+	s.L1I.Accesses, s.L1I.Misses, s.L1I.PrefetchUseful = 100, 20, 15
+	s.L2.PrefetchInserts, s.L2.PrefetchRedundant = 30, 3
+	s.L3.Misses, s.L3.PrefetchLate, s.L3.PrefetchUseless = 40, 4, 2
+	var buf bytes.Buffer
+	if err := WriteStats(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *s {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestStatsBadInputRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStats(&buf, &sim.Stats{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadStats(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Error("truncated stats accepted")
+	}
+	if _, err := ReadStats(bytes.NewReader([]byte{0x01, 0x02, 0x03})); err == nil {
+		t.Error("garbage stats accepted")
+	}
+}

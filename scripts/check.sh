@@ -1,0 +1,13 @@
+#!/bin/sh
+# The repository gate: vet, build, race-enabled tests. `make check` runs the
+# same steps; this script exists for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "== all checks passed"
