@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race fuzz faultsmoke bench
 
 # The full gate: what CI (and every PR) must pass.
-check: vet build race
+check: vet build race fuzz faultsmoke
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short continuous-fuzzing pass over the trace decoders; regressions land in
+# internal/traceio/testdata/fuzz and replay as ordinary tests forever after.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=5s ./internal/traceio
+
+# End-to-end fault-injection smoke: an injected panic must degrade the run
+# (exit 1 with a report), not crash it.
+faultsmoke:
+	@$(GO) run ./cmd/ispy -apps tomcat -instrs 120000 \
+		-faults 'compute/base/*=panic' run fig1 >/dev/null 2>&1; \
+	rc=$$?; if [ $$rc -ne 1 ]; then \
+		echo "faultsmoke: exit code $$rc, want 1"; exit 1; fi
+	@echo "faultsmoke: ok (exit 1 with contained failure)"
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

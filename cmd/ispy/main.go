@@ -17,20 +17,34 @@
 //	-instrs N     measured workload instructions per run (warmups rescale)
 //	-cache-dir D  persist artifacts in D; later runs reuse them
 //	-jobs N       worker-pool size shared by all parallel work
+//	-timeout D    cancel the run after D (e.g. 10m); partial results still print
 //	-v            live progress lines and an end-of-run telemetry summary
 //	-seq          disable parallelism (deterministic ordering of log lines)
+//	-faults S     deterministic fault-injection spec (testing; see internal/faults)
+//	-fault-seed N seed for -faults decisions
+//
+// Exit codes: 0 — fully clean run; 1 — the run completed but some work
+// failed or was skipped (per-app failure, cancellation, timeout; see the run
+// report on stderr); 2 — usage or configuration error. SIGINT/SIGTERM cancel
+// the run: queued work is skipped, finished results and the report still
+// print, and the process exits 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"ispy/internal/core"
 	"ispy/internal/experiments"
+	"ispy/internal/faults"
 	"ispy/internal/sim"
 	"ispy/internal/workload"
 )
@@ -38,21 +52,41 @@ import (
 // simStats aliases the simulator statistics for the sweep helper.
 type simStats = sim.Stats
 
-func main() {
-	quick := flag.Bool("quick", false, "reduced budgets and app set")
-	apps := flag.String("apps", "", "comma-separated app subset")
-	instrs := flag.Uint64("instrs", 0, "measured workload instructions per run")
-	cacheDir := flag.String("cache-dir", "", "artifact cache directory (reused across runs)")
-	jobs := flag.Int("jobs", 0, "worker-pool size (default: GOMAXPROCS)")
-	verbose := flag.Bool("v", false, "print per-artifact progress and a telemetry summary")
-	seq := flag.Bool("seq", false, "disable parallel work")
-	flag.Usage = usage
-	flag.Parse()
+// Exit codes (documented in the package comment and README).
+const (
+	exitOK      = 0 // fully clean run
+	exitPartial = 1 // run completed with contained failures or skipped work
+	exitUsage   = 2 // usage or configuration error
+)
 
-	args := flag.Args()
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// realMain is the whole CLI behind a single exit path: whatever happens
+// after the lab exists flows through the epilogue below, so the run report
+// and telemetry are always flushed and the exit code always reflects the
+// report. Nothing in this package calls os.Exit except main itself.
+func realMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ispy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced budgets and app set")
+	apps := fs.String("apps", "", "comma-separated app subset")
+	instrs := fs.Uint64("instrs", 0, "measured workload instructions per run")
+	cacheDir := fs.String("cache-dir", "", "artifact cache directory (reused across runs)")
+	jobs := fs.Int("jobs", 0, "worker-pool size (default: GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "cancel the run after this duration (partial results, exit 1)")
+	verbose := fs.Bool("v", false, "print per-artifact progress and a telemetry summary")
+	seq := fs.Bool("seq", false, "disable parallel work")
+	faultSpec := fs.String("faults", "", "fault-injection spec: pattern=kind[:prob],... (testing)")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for -faults firing decisions")
+	fs.Usage = func() { usage(stderr, fs) }
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+
+	args := fs.Args()
 	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+		fs.Usage()
+		return exitUsage
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -62,9 +96,9 @@ func main() {
 	if *apps != "" {
 		sel := parseApps(*apps)
 		if len(sel) == 0 {
-			fmt.Fprintf(os.Stderr, "ispy: -apps %q names no applications (valid: %s)\n",
+			fmt.Fprintf(stderr, "ispy: -apps %q names no applications (valid: %s)\n",
 				*apps, strings.Join(workload.AppNames, ", "))
-			os.Exit(2)
+			return exitUsage
 		}
 		cfg.Apps = sel
 	}
@@ -79,44 +113,81 @@ func main() {
 	cfg.Jobs = *jobs
 	cfg.CacheDir = *cacheDir
 	cfg.Verbose = *verbose
-	lab := experiments.NewLab(cfg)
-	if err := lab.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *faultSpec != "" {
+		inj, err := faults.ParseSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "ispy: %v\n", err)
+			return exitUsage
+		}
+		cfg.Faults = inj
 	}
 
+	// The run context: SIGINT/SIGTERM and -timeout cancel it; the lab then
+	// skips queued work and the epilogue reports what was abandoned.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("run exceeded -timeout %v", *timeout))
+		defer cancel()
+	}
+
+	lab := experiments.NewLabContext(ctx, cfg)
+	if err := lab.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitUsage
+	}
+
+	code := dispatch(lab, args, stdout, stderr)
+
+	// Epilogue — the single flush point. Runs for every post-Validate path,
+	// including usage errors, so partial state is never silently dropped.
+	if s := lab.Report().Summary(); s != "" {
+		fmt.Fprint(stderr, s)
+	}
+	if code == exitOK && !lab.Report().Clean() {
+		code = exitPartial
+	}
+	if *verbose {
+		fmt.Fprintln(stderr, lab.Telemetry().Summary())
+	}
+	return code
+}
+
+// dispatch routes the subcommand. It never calls os.Exit; usage errors
+// return exitUsage and partial failures surface through the lab's report.
+func dispatch(lab *experiments.Lab, args []string, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "list":
 		for _, s := range experiments.All() {
-			fmt.Printf("%-8s %s\n", s.ID, s.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", s.ID, s.Title)
 		}
+		return exitOK
 	case "apps":
-		describeApps()
+		describeApps(stdout)
+		return exitOK
 	case "all":
 		ids := make([]string, 0)
 		for _, s := range experiments.All() {
 			ids = append(ids, s.ID)
 		}
-		runExperiments(lab, ids)
+		return runExperiments(lab, ids, stdout, stderr)
 	case "run":
 		if len(args) < 2 {
-			fmt.Fprintln(os.Stderr, "ispy run: need at least one experiment id (see `ispy list`)")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "ispy run: need at least one experiment id (see `ispy list`)")
+			return exitUsage
 		}
-		runExperiments(lab, args[1:])
+		return runExperiments(lab, args[1:], stdout, stderr)
 	case "sweep":
 		if len(args) < 2 {
-			fmt.Fprintln(os.Stderr, "ispy sweep: need a knob: preds|coalesce|hash|mindist|maxdist")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "ispy sweep: need a knob: preds|coalesce|hash|mindist|maxdist")
+			return exitUsage
 		}
-		runSweep(lab, args[1])
+		return runSweep(lab, args[1], stdout, stderr)
 	default:
-		fmt.Fprintf(os.Stderr, "ispy: unknown command %q\n", args[0])
-		usage()
-		os.Exit(2)
-	}
-	if *verbose {
-		fmt.Fprintln(os.Stderr, lab.Telemetry().Summary())
+		fmt.Fprintf(stderr, "ispy: unknown command %q\n", args[0])
+		return exitUsage
 	}
 }
 
@@ -132,34 +203,49 @@ func parseApps(s string) []string {
 	return out
 }
 
-func runExperiments(lab *experiments.Lab, ids []string) {
+// runExperiments validates every id up front (an unknown id is a usage
+// error before any work starts), then runs the experiments in order,
+// checking for cancellation between them: once the run context is done the
+// remaining experiments are recorded as skipped rather than silently
+// dropped, and already-printed results stand.
+func runExperiments(lab *experiments.Lab, ids []string, stdout, stderr io.Writer) int {
 	for _, id := range ids {
-		spec, ok := experiments.Get(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ispy: unknown experiment %q (see `ispy list`)\n", id)
-			os.Exit(2)
+		if _, ok := experiments.Get(id); !ok {
+			fmt.Fprintf(stderr, "ispy: unknown experiment %q (see `ispy list`)\n", id)
+			return exitUsage
 		}
+	}
+	for i, id := range ids {
+		if err := lab.Context().Err(); err != nil {
+			lab.Report().Skip("run", len(ids)-i, context.Cause(lab.Context()))
+			break
+		}
+		spec, _ := experiments.Get(id)
 		t0 := time.Now()
 		res := spec.Run(lab)
-		fmt.Println(res.String())
-		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(t0).Seconds())
+		fmt.Fprintln(stdout, res.String())
+		fmt.Fprintf(stdout, "[%s completed in %.1fs]\n\n", id, time.Since(t0).Seconds())
 	}
+	return exitOK
 }
 
 // sweepAcc accumulates one sweep setting's mean from concurrent pool tasks.
 // Apps without ideal headroom (idealGain ≤ 0) are excluded from the mean and
-// counted so the denominator reflects only accumulated apps.
+// counted so the denominator reflects only accumulated apps; failed points
+// land in the run report and are likewise excluded.
 type sweepAcc struct {
 	mu      sync.Mutex
 	sum     float64
 	n       int
 	skipped int
+	failed  int
 }
 
 // runSweep exposes the sensitivity knobs generically: it reuses each app's
 // cached analysis intermediates and prints the mean %-of-ideal per setting.
-// Every (setting, app) point is one task on the lab's shared worker pool.
-func runSweep(lab *experiments.Lab, knob string) {
+// Every (setting, app) point is one task on the lab's shared worker pool; a
+// failing point degrades to a smaller mean, not an aborted sweep.
+func runSweep(lab *experiments.Lab, knob string, stdout, stderr io.Writer) int {
 	type setting struct {
 		label string
 		opt   func() core.Options
@@ -200,8 +286,8 @@ func runSweep(lab *experiments.Lab, knob string) {
 			settings = append(settings, setting{fmt.Sprintf("max=%d", d), mk(func(o *core.Options) { o.MaxDistCycles = d }), true})
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "ispy sweep: unknown knob %q\n", knob)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ispy sweep: unknown knob %q\n", knob)
+		return exitUsage
 	}
 	accs := make([]sweepAcc, len(settings))
 	g := lab.Group()
@@ -209,59 +295,76 @@ func runSweep(lab *experiments.Lab, knob string) {
 		si, s := si, s
 		for _, name := range lab.Cfg.Apps {
 			a := lab.App(name)
-			g.Go(func() {
-				base, ideal := a.Base(), a.Ideal()
-				var st *simStats
-				if s.fresh {
-					st = a.FreshVariantStats(s.opt(), a.SweepCfg(), a.SweepCfg())
-				} else {
-					st = a.ISPYVariantStats(s.opt(), a.SweepCfg())
-				}
-				idealGain := float64(base.Cycles)/float64(ideal.Cycles) - 1
-				scale := float64(st.BaseInstrs) / float64(base.BaseInstrs)
-				gain := float64(base.Cycles)*scale/float64(st.Cycles) - 1
+			g.Go(func(context.Context) error {
 				acc := &accs[si]
-				acc.mu.Lock()
-				if idealGain > 0 {
-					acc.sum += gain / idealGain * 100
-					acc.n++
-				} else {
-					acc.skipped++
+				err := lab.Attempt(a.Name, "sweep/"+s.label, func() error {
+					base, ideal := a.Base(), a.Ideal()
+					var st *simStats
+					if s.fresh {
+						st = a.FreshVariantStats(s.opt(), a.SweepCfg(), a.SweepCfg())
+					} else {
+						st = a.ISPYVariantStats(s.opt(), a.SweepCfg())
+					}
+					idealGain := float64(base.Cycles)/float64(ideal.Cycles) - 1
+					scale := float64(st.BaseInstrs) / float64(base.BaseInstrs)
+					gain := float64(base.Cycles)*scale/float64(st.Cycles) - 1
+					acc.mu.Lock()
+					if idealGain > 0 {
+						acc.sum += gain / idealGain * 100
+						acc.n++
+					} else {
+						acc.skipped++
+					}
+					acc.mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					acc.mu.Lock()
+					acc.failed++
+					acc.mu.Unlock()
 				}
-				acc.mu.Unlock()
+				return nil
 			})
 		}
 	}
-	g.Wait()
+	lab.Report().RecordWait("sweep/"+knob, g.Wait())
 	for si, s := range settings {
 		acc := &accs[si]
 		if acc.n == 0 {
-			fmt.Printf("%-12s    n/a (no app has ideal headroom)\n", s.label)
+			reason := "no app has ideal headroom"
+			if acc.failed > 0 {
+				reason = "every app failed or was skipped"
+			}
+			fmt.Fprintf(stdout, "%-12s    n/a (%s)\n", s.label, reason)
 			continue
 		}
 		note := ""
 		if acc.skipped > 0 {
-			note = fmt.Sprintf("; %d skipped (no ideal headroom)", acc.skipped)
+			note += fmt.Sprintf("; %d skipped (no ideal headroom)", acc.skipped)
 		}
-		fmt.Printf("%-12s %6.1f%% of ideal (mean over %d apps%s)\n", s.label, acc.sum/float64(acc.n), acc.n, note)
+		if acc.failed > 0 {
+			note += fmt.Sprintf("; %d failed", acc.failed)
+		}
+		fmt.Fprintf(stdout, "%-12s %6.1f%% of ideal (mean over %d apps%s)\n", s.label, acc.sum/float64(acc.n), acc.n, note)
 	}
+	return exitOK
 }
 
-func describeApps() {
-	fmt.Printf("%-16s %9s %8s %7s %7s %7s\n", "app", "text", "blocks", "funcs", "types", "engine")
+func describeApps(stdout io.Writer) {
+	fmt.Fprintf(stdout, "%-16s %9s %8s %7s %7s %7s\n", "app", "text", "blocks", "funcs", "types", "engine")
 	for _, name := range workload.AppNames {
 		w := workload.Preset(name)
 		engine := "-"
 		if w.Params.EngineSlots > 0 {
 			engine = fmt.Sprintf("%d slots", w.Params.EngineSlots)
 		}
-		fmt.Printf("%-16s %8.0fKB %8d %7d %7d %7s\n",
+		fmt.Fprintf(stdout, "%-16s %8.0fKB %8d %7d %7d %7s\n",
 			name, float64(w.Prog.TextSize)/1024, len(w.Prog.Blocks), len(w.Prog.Funcs), w.NumTypes, engine)
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `ispy — reproduction harness for I-SPY (MICRO 2020)
+func usage(stderr io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintf(stderr, `ispy — reproduction harness for I-SPY (MICRO 2020)
 
 usage:
   ispy [flags] list
@@ -270,7 +373,9 @@ usage:
   ispy [flags] sweep {preds|coalesce|hash|mindist|maxdist}
   ispy [flags] all
 
+exit codes: 0 clean run; 1 partial failure (see run report); 2 usage error
+
 flags:
 `)
-	flag.PrintDefaults()
+	fs.PrintDefaults()
 }

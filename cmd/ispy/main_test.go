@@ -1,12 +1,139 @@
 package main
 
 import (
+	"bytes"
 	"reflect"
 	"strings"
 	"testing"
 
 	"ispy/internal/experiments"
 )
+
+// runCLI invokes realMain the way main does, capturing both streams.
+func runCLI(t *testing.T, argv ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = realMain(argv, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestExitCodeContract pins the documented exit codes: 0 clean, 1 partial,
+// 2 usage — with every path flowing through the single epilogue.
+func TestExitCodeContract(t *testing.T) {
+	t.Run("no args is usage", func(t *testing.T) {
+		if code, _, stderr := runCLI(t); code != exitUsage || !strings.Contains(stderr, "usage") {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("unknown command is usage", func(t *testing.T) {
+		if code, _, _ := runCLI(t, "frobnicate"); code != exitUsage {
+			t.Errorf("code = %d", code)
+		}
+	})
+	t.Run("unknown experiment is usage", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "run", "fig99")
+		if code != exitUsage || !strings.Contains(stderr, "fig99") {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("bad fault spec is usage", func(t *testing.T) {
+		if code, _, _ := runCLI(t, "-faults", "site=nonsense", "list"); code != exitUsage {
+			t.Errorf("code = %d", code)
+		}
+	})
+	t.Run("bad apps is usage", func(t *testing.T) {
+		if code, _, _ := runCLI(t, "-apps", ",", "list"); code != exitUsage {
+			t.Errorf("code = %d", code)
+		}
+	})
+	t.Run("list is clean", func(t *testing.T) {
+		code, stdout, _ := runCLI(t, "list")
+		if code != exitOK || !strings.Contains(stdout, "fig11") {
+			t.Errorf("code = %d, stdout = %q", code, stdout)
+		}
+	})
+	t.Run("clean run exits 0", func(t *testing.T) {
+		code, stdout, stderr := runCLI(t, "-apps", "tomcat", "-instrs", "120000", "run", "fig1")
+		if code != exitOK {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+		if !strings.Contains(stdout, "completed in") {
+			t.Errorf("no completion line: %q", stdout)
+		}
+		if strings.Contains(stderr, "FAILED") {
+			t.Errorf("clean run reported failures: %q", stderr)
+		}
+	})
+}
+
+// TestInjectedPanicExitsPartial: a fault that kills one app's computation
+// must not kill the process — results for survivors print, the run report
+// names the casualty, and the exit code is 1.
+func TestInjectedPanicExitsPartial(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-apps", "wordpress,tomcat", "-instrs", "120000",
+		"-faults", "compute/base/tomcat=panic", "run", "fig1")
+	if code != exitPartial {
+		t.Fatalf("code = %d, want %d\nstderr: %s", code, exitPartial, stderr)
+	}
+	if !strings.Contains(stdout, "SKIPPED") {
+		t.Errorf("failed app not annotated in output:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "wordpress") {
+		t.Errorf("surviving app missing from output:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "FAILED") || !strings.Contains(stderr, "tomcat") {
+		t.Errorf("run report does not name the failed app:\n%s", stderr)
+	}
+}
+
+// TestTimeoutExitsPartial: an expired -timeout cancels the run; the process
+// still completes the epilogue (report on stderr) and exits 1.
+func TestTimeoutExitsPartial(t *testing.T) {
+	code, _, stderr := runCLI(t,
+		"-apps", "tomcat", "-instrs", "120000", "-timeout", "1ns", "run", "fig1")
+	if code != exitPartial {
+		t.Fatalf("code = %d, want %d\nstderr: %s", code, exitPartial, stderr)
+	}
+	if !strings.Contains(stderr, "run exceeded -timeout") {
+		t.Errorf("report does not carry the timeout cause:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "SKIPPED") {
+		t.Errorf("report does not record skipped work:\n%s", stderr)
+	}
+}
+
+// TestTimeoutSweepStillPrintsSettings: a cancelled sweep must render every
+// setting line (as n/a) rather than truncating the table.
+func TestTimeoutSweepStillPrintsSettings(t *testing.T) {
+	code, stdout, _ := runCLI(t,
+		"-apps", "tomcat", "-instrs", "120000", "-timeout", "1ns", "sweep", "preds")
+	if code != exitPartial {
+		t.Fatalf("code = %d, want %d", code, exitPartial)
+	}
+	for _, label := range []string{"preds=1", "preds=32"} {
+		if !strings.Contains(stdout, label) {
+			t.Errorf("sweep output missing %s:\n%s", label, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "n/a") {
+		t.Errorf("cancelled sweep rows not marked n/a:\n%s", stdout)
+	}
+}
+
+// TestVerboseFlushesTelemetryOnPartialRun: -v telemetry must survive even a
+// run that failed half-way (the single-exit-path guarantee).
+func TestVerboseFlushesTelemetryOnPartialRun(t *testing.T) {
+	code, _, stderr := runCLI(t,
+		"-apps", "tomcat", "-instrs", "120000", "-v",
+		"-faults", "compute/*=panic", "run", "fig1")
+	if code != exitPartial {
+		t.Fatalf("code = %d, want %d", code, exitPartial)
+	}
+	if !strings.Contains(stderr, "artifact") {
+		t.Errorf("telemetry summary missing from stderr:\n%s", stderr)
+	}
+}
 
 // Regression: -instrs used to rescale only the measured budgets, leaving the
 // fixed 300k/200k warmups to swallow (or exceed) short runs.

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 
 	"ispy/internal/core"
+	"ispy/internal/faults"
 	"ispy/internal/hashx"
 	"ispy/internal/profile"
 	"ispy/internal/sim"
@@ -48,7 +49,39 @@ const (
 // for concurrent use (distinct keys map to distinct files; same-key races
 // are benign last-writer-wins rewrites of identical content).
 type Cache struct {
-	dir string
+	dir   string
+	evict func(kind string)    // eviction observer; set before use
+	inj   *faults.Injector     // fault injector (testing); set before use
+}
+
+// OnEvict registers an observer called with the artifact kind whenever a
+// verification failure evicts an entry from disk. Must be set before the
+// cache is used concurrently.
+func (c *Cache) OnEvict(f func(kind string)) {
+	if c != nil {
+		c.evict = f
+	}
+}
+
+// SetFaults installs a fault injector behind the cache's file I/O (sites
+// "artifacts.read" and "artifacts.write"). Testing only; must be set before
+// the cache is used concurrently.
+func (c *Cache) SetFaults(inj *faults.Injector) {
+	if c != nil {
+		c.inj = inj
+	}
+}
+
+// corrupt handles an entry that exists on disk but failed verification:
+// the file is deleted (best effort — a second chance at a clean recompute-
+// and-store instead of tripping over the same bad bytes every run), the
+// eviction observer is notified, and the load degrades to a miss.
+func (c *Cache) corrupt(k *Key) [][]byte {
+	os.Remove(filepath.Join(c.dir, k.Filename()))
+	if c.evict != nil {
+		c.evict(k.kind)
+	}
+	return nil
 }
 
 // Open creates (if needed) and opens the cache directory.
@@ -99,12 +132,17 @@ func (c *Cache) writeEntry(k *Key, sections [][]byte) {
 	}
 	put(hashx.FNV1a64(buf.Bytes()))
 
+	payload, err := c.inj.WriteBytes("artifacts.write", buf.Bytes())
+	if err != nil {
+		return // injected write error: store silently skipped, like ENOSPC
+	}
+
 	path := filepath.Join(c.dir, k.Filename())
 	tmp, err := os.CreateTemp(c.dir, k.Filename()+".tmp*")
 	if err != nil {
 		return
 	}
-	_, werr := tmp.Write(buf.Bytes())
+	_, werr := tmp.Write(payload)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -117,14 +155,20 @@ func (c *Cache) writeEntry(k *Key, sections [][]byte) {
 
 // readEntry loads and verifies the entry for k, returning its sections, or
 // nil if the entry is absent, truncated, corrupt, stale, or from a colliding
-// key.
+// key. An entry that exists but fails verification is evicted from disk (see
+// corrupt) so the next run stores a clean replacement instead of re-parsing
+// the same bad bytes forever.
 func (c *Cache) readEntry(k *Key) [][]byte {
 	if c == nil {
 		return nil
 	}
 	data, err := os.ReadFile(filepath.Join(c.dir, k.Filename()))
 	if err != nil {
-		return nil
+		return nil // absent (or unreadable) is a plain miss, not an eviction
+	}
+	data, err = c.inj.ReadBytes("artifacts.read", data)
+	if err != nil {
+		return nil // injected read error: miss, but the entry may be fine
 	}
 	rest := data
 	take := func() (uint64, bool) {
@@ -144,39 +188,39 @@ func (c *Cache) readEntry(k *Key) [][]byte {
 		return b, true
 	}
 	if m, ok := take(); !ok || m != entryMagic {
-		return nil
+		return c.corrupt(k)
 	}
 	if v, ok := take(); !ok || v != entryVersion {
-		return nil
+		return c.corrupt(k) // stale format version
 	}
 	klen, ok := take()
 	if !ok {
-		return nil
+		return c.corrupt(k)
 	}
 	kecho, ok := takeBytes(klen)
 	if !ok || !bytes.Equal(kecho, k.buf) {
-		return nil // hash collision or stale key layout
+		return c.corrupt(k) // hash collision or stale key layout
 	}
 	nsec, ok := take()
 	if !ok || nsec > 64 {
-		return nil
+		return c.corrupt(k)
 	}
 	sections := make([][]byte, 0, nsec)
 	for i := uint64(0); i < nsec; i++ {
 		slen, ok := take()
 		if !ok {
-			return nil
+			return c.corrupt(k)
 		}
 		s, ok := takeBytes(slen)
 		if !ok {
-			return nil
+			return c.corrupt(k)
 		}
 		sections = append(sections, s)
 	}
 	payloadEnd := len(data) - len(rest)
 	sum, ok := take()
 	if !ok || len(rest) != 0 || sum != hashx.FNV1a64(data[:payloadEnd]) {
-		return nil
+		return c.corrupt(k)
 	}
 	return sections
 }

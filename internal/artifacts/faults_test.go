@@ -1,0 +1,169 @@
+package artifacts
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ispy/internal/faults"
+	"ispy/internal/sim"
+)
+
+// storedEntry writes one stats entry and returns its on-disk path and bytes.
+func storedEntry(t *testing.T, c *Cache, k *Key) (string, []byte) {
+	t.Helper()
+	s := &sim.Stats{Cycles: 4242, BaseInstrs: 999, L1IMisses: 7}
+	c.StoreStats(k, s)
+	path := filepath.Join(c.Dir(), k.Filename())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("stored entry unreadable: %v", err)
+	}
+	return path, data
+}
+
+// TestReadEntryNeverPanicsOnMutation is the exhaustive single-entry torture
+// test: every truncation point and every single-byte corruption of a valid
+// entry must yield a nil (miss) from readEntry — never a panic, never stale
+// sections — and must evict the damaged file so the next store repairs it.
+func TestReadEntryNeverPanicsOnMutation(t *testing.T) {
+	c := testCache(t)
+	evicted := 0
+	c.OnEvict(func(kind string) { evicted++ })
+	k := statsKey("base")
+	path, data := storedEntry(t, c, k)
+
+	if got := c.readEntry(k); got == nil {
+		t.Fatal("pristine entry did not verify")
+	}
+
+	mutations := 0
+	check := func(label string, mut []byte) {
+		t.Helper()
+		mutations++
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.readEntry(k); got != nil {
+			t.Fatalf("%s: damaged entry verified (sections=%d)", label, len(got))
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("%s: damaged entry left on disk (stat err=%v)", label, err)
+		}
+	}
+
+	// Truncate at every byte boundary — covers every varint header and every
+	// section border. (The full length is the valid entry, so stop short.)
+	for i := 0; i < len(data); i++ {
+		check("truncate@"+itoa(i), data[:i])
+	}
+	// Flip every byte — covers magic, version, key length/echo, section
+	// count, each section length varint, payload bytes, and the checksum.
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		check("flip@"+itoa(i), mut)
+	}
+
+	if evicted != mutations {
+		t.Errorf("evictions = %d, want one per mutation (%d)", evicted, mutations)
+	}
+
+	// After eviction the next store must repair the entry cleanly.
+	c.StoreStats(k, &sim.Stats{Cycles: 4242})
+	if got, ok := c.LoadStats(k); !ok || got.Cycles != 4242 {
+		t.Errorf("repair after eviction failed (ok=%v)", ok)
+	}
+}
+
+// itoa avoids importing strconv into the hot mutation loop call sites.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// TestStaleVersionEvicted: an entry whose version number moved on is deleted,
+// not re-parsed forever.
+func TestStaleVersionEvicted(t *testing.T) {
+	c := testCache(t)
+	kinds := []string{}
+	c.OnEvict(func(kind string) { kinds = append(kinds, kind) })
+	k := statsKey("base")
+	path, data := storedEntry(t, c, k)
+
+	// The version is the second varint; magic is 5 bytes, version 1 byte.
+	// Bump it rather than guessing offsets: locate by decoding is overkill —
+	// corrupting the byte after the magic suffices and is covered above — so
+	// here rewrite the whole file with a bumped version via a fresh buffer.
+	mut := append([]byte(nil), data...)
+	mut[5]++ // entryVersion is a single-byte varint right after the magic
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c.readEntry(k) != nil {
+		t.Fatal("stale-version entry verified")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("stale-version entry not evicted")
+	}
+	if len(kinds) != 1 || kinds[0] != "base" {
+		t.Errorf("evict callback got %v, want [base]", kinds)
+	}
+}
+
+// TestTornWriteDegradesToMiss: a short write at store time must yield a miss
+// (plus eviction) on the next load, never a partial decode.
+func TestTornWriteDegradesToMiss(t *testing.T) {
+	c := testCache(t)
+	evicted := 0
+	c.OnEvict(func(kind string) { evicted++ })
+	inj := faults.New(11)
+	inj.Enable("artifacts.write", faults.Rule{Kind: faults.ShortWrite, Count: 1})
+	c.SetFaults(inj)
+
+	k := statsKey("base")
+	c.StoreStats(k, &sim.Stats{Cycles: 1})
+	if _, ok := c.LoadStats(k); ok {
+		t.Fatal("torn entry reported a hit")
+	}
+	if evicted != 1 {
+		t.Errorf("torn entry evictions = %d, want 1", evicted)
+	}
+	// The injector is spent (Count: 1): the re-store persists fully.
+	c.StoreStats(k, &sim.Stats{Cycles: 2})
+	if got, ok := c.LoadStats(k); !ok || got.Cycles != 2 {
+		t.Errorf("re-store after torn write failed (ok=%v)", ok)
+	}
+}
+
+// TestWriteErrorSkipsStore: an injected write error behaves like ENOSPC —
+// nothing lands on disk, loads miss, no eviction.
+func TestWriteErrorSkipsStore(t *testing.T) {
+	c := testCache(t)
+	evicted := 0
+	c.OnEvict(func(kind string) { evicted++ })
+	inj := faults.New(2)
+	inj.Enable("artifacts.write", faults.Rule{Kind: faults.Error})
+	c.SetFaults(inj)
+
+	k := statsKey("base")
+	c.StoreStats(k, &sim.Stats{Cycles: 5})
+	if entries, _ := os.ReadDir(c.Dir()); len(entries) != 0 {
+		t.Errorf("write error still persisted %d files", len(entries))
+	}
+	if _, ok := c.LoadStats(k); ok {
+		t.Error("load hit with nothing on disk")
+	}
+	if evicted != 0 {
+		t.Errorf("phantom evictions: %d", evicted)
+	}
+}

@@ -38,6 +38,9 @@ func NewKey(kind, app string) *Key {
 // Kind returns the artifact kind the key was created with.
 func (k *Key) Kind() string { return k.kind }
 
+// App returns the application name the key was created with.
+func (k *Key) App() string { return k.app }
+
 // Uint folds an unsigned integer.
 func (k *Key) Uint(v uint64) *Key {
 	k.buf = binary.AppendUvarint(k.buf, v)

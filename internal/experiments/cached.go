@@ -28,6 +28,7 @@ func (a *App) key(kind string) *artifacts.Key {
 // stats loads the run statistics for k or computes (and stores) them.
 func (l *Lab) stats(k *artifacts.Key, compute func() *sim.Stats) *sim.Stats {
 	kind := k.Kind()
+	compute = faulted(l, k, compute)
 	if !l.cache.Enabled() {
 		l.tel.CacheBypass(kind)
 		return timed(l, kind, compute)
@@ -47,6 +48,7 @@ func (l *Lab) stats(k *artifacts.Key, compute func() *sim.Stats) *sim.Stats {
 // input) or computes and stores it.
 func (l *Lab) profile(k *artifacts.Key, w *workload.Workload, in workload.Input, compute func() *profile.Profile) *profile.Profile {
 	kind := k.Kind()
+	compute = faulted(l, k, compute)
 	if !l.cache.Enabled() {
 		l.tel.CacheBypass(kind)
 		return timed(l, kind, compute)
@@ -67,6 +69,7 @@ func (l *Lab) profile(k *artifacts.Key, w *workload.Workload, in workload.Input,
 // working state); every experiment consumes exactly that subset.
 func (l *Lab) build(k *artifacts.Key, compute func() *core.Build) *core.Build {
 	kind := k.Kind()
+	compute = faulted(l, k, compute)
 	if !l.cache.Enabled() {
 		l.tel.CacheBypass(kind)
 		return timed(l, kind, compute)
@@ -80,6 +83,21 @@ func (l *Lab) build(k *artifacts.Key, compute func() *core.Build) *core.Build {
 	b := timed(l, kind, compute)
 	l.cache.StoreBuild(k, b)
 	return b
+}
+
+// faulted interposes the lab's fault injector (when configured) at the
+// artifact's compute site — "compute/<kind>/<app>" — so tests can force a
+// panic or error into exactly one app's computation. With no injector the
+// original closure is returned untouched.
+func faulted[T any](l *Lab, k *artifacts.Key, compute func() T) func() T {
+	if l.faults == nil {
+		return compute
+	}
+	site := "compute/" + k.Kind() + "/" + k.App()
+	return func() T {
+		l.faultHit(site)
+		return compute()
+	}
 }
 
 // timed runs compute under the per-artifact wall-time telemetry.

@@ -1,7 +1,10 @@
-// Headline evaluation experiments: Figs. 10–16 (§VI-A).
+// Headline evaluation experiments: Figs. 10–16 (§VI-A). Each runner degrades
+// per app: a failed application renders as a SKIPPED row (and is recorded in
+// the lab's run report) while the surviving apps keep their numbers.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ispy/internal/asmdb"
@@ -29,22 +32,28 @@ func runFig10(l *Lab) *Result {
 	t := metrics.NewTable("app", "ideal speedup", "AsmDB speedup", "I-SPY speedup", "I-SPY %-of-ideal", "I-SPY vs AsmDB")
 	var pctIdeal, ispySp, vsAsmdb []float64
 	for _, a := range l.Apps() {
-		base, ideal := a.Base(), a.Ideal()
-		adb, ispy := a.AsmDBStats(), a.ISPYStats()
-		sI := metrics.SpeedupPct(base.Cycles, ideal.Cycles)
-		sA := metrics.SpeedupPct(base.Cycles, adb.Cycles)
-		sY := metrics.SpeedupPct(base.Cycles, ispy.Cycles)
-		pct := metrics.PctOfIdeal(base.Cycles, ispy.Cycles, ideal.Cycles)
-		// The paper's "22.4% better than AsmDB" compares speedup *gains*
-		// (I-SPY's 15.5% vs AsmDB's ~12.7%), not end-to-end runtimes.
-		rel := 0.0
-		if sA > 0 {
-			rel = (sY/sA - 1) * 100
+		a := a
+		if err := l.Attempt(a.Name, "fig10", func() error {
+			base, ideal := a.Base(), a.Ideal()
+			adb, ispy := a.AsmDBStats(), a.ISPYStats()
+			sI := metrics.SpeedupPct(base.Cycles, ideal.Cycles)
+			sA := metrics.SpeedupPct(base.Cycles, adb.Cycles)
+			sY := metrics.SpeedupPct(base.Cycles, ispy.Cycles)
+			pct := metrics.PctOfIdeal(base.Cycles, ispy.Cycles, ideal.Cycles)
+			// The paper's "22.4% better than AsmDB" compares speedup *gains*
+			// (I-SPY's 15.5% vs AsmDB's ~12.7%), not end-to-end runtimes.
+			rel := 0.0
+			if sA > 0 {
+				rel = (sY/sA - 1) * 100
+			}
+			pctIdeal = append(pctIdeal, pct)
+			ispySp = append(ispySp, sY)
+			vsAsmdb = append(vsAsmdb, rel)
+			t.AddRow(a.Name, fmtPct(sI), fmtPct(sA), fmtPct(sY), fmtPct(pct), fmtPct(rel))
+			return nil
+		}); err != nil {
+			t.AddRow(skipCells(a.Name, err, 6)...)
 		}
-		pctIdeal = append(pctIdeal, pct)
-		ispySp = append(ispySp, sY)
-		vsAsmdb = append(vsAsmdb, rel)
-		t.AddRow(a.Name, fmtPct(sI), fmtPct(sA), fmtPct(sY), fmtPct(pct), fmtPct(rel))
 	}
 	return &Result{
 		ID:    "fig10",
@@ -61,12 +70,18 @@ func runFig11(l *Lab) *Result {
 	t := metrics.NewTable("app", "base MPKI", "AsmDB MPKI", "I-SPY MPKI", "I-SPY reduction", "extra vs AsmDB")
 	var red, extra []float64
 	for _, a := range l.Apps() {
-		b, ad, is := a.Base().MPKI(), a.AsmDBStats().MPKI(), a.ISPYStats().MPKI()
-		r := metrics.Reduction(b, is)
-		e := metrics.Reduction(b, is) - metrics.Reduction(b, ad)
-		red = append(red, r)
-		extra = append(extra, e)
-		t.AddRowf(a.Name, b, ad, is, fmtPct(r), fmtPct(e))
+		a := a
+		if err := l.Attempt(a.Name, "fig11", func() error {
+			b, ad, is := a.Base().MPKI(), a.AsmDBStats().MPKI(), a.ISPYStats().MPKI()
+			r := metrics.Reduction(b, is)
+			e := metrics.Reduction(b, is) - metrics.Reduction(b, ad)
+			red = append(red, r)
+			extra = append(extra, e)
+			t.AddRowf(a.Name, b, ad, is, fmtPct(r), fmtPct(e))
+			return nil
+		}); err != nil {
+			t.AddRow(skipCells(a.Name, err, 6)...)
+		}
 	}
 	return &Result{
 		ID:    "fig11",
@@ -87,27 +102,44 @@ func runFig12(l *Lab) *Result {
 		base, adb := a.Base(), a.AsmDBStats()
 		return (metrics.Speedup(base.Cycles, cycles)/metrics.Speedup(base.Cycles, adb.Cycles) - 1) * 100
 	}
+	failed := newFailSet(len(l.Cfg.Apps))
 	g := l.Group()
 	for i, a := range l.Apps() {
 		i, a := i, a
-		g.Go(func() {
-			opt := core.DefaultOptions()
-			opt.Coalesce = false
-			rows[i].cond = rel(a, a.ISPYVariantStats(opt, a.SimCfg()).Cycles)
+		g.Go(func(context.Context) error {
+			failed.set(i, l.Attempt(a.Name, "fig12/conditional", func() error {
+				opt := core.DefaultOptions()
+				opt.Coalesce = false
+				rows[i].cond = rel(a, a.ISPYVariantStats(opt, a.SimCfg()).Cycles)
+				return nil
+			}))
+			return nil
 		})
-		g.Go(func() {
-			opt := core.DefaultOptions()
-			opt.Conditional = false
-			rows[i].coal = rel(a, a.ISPYVariantStats(opt, a.SimCfg()).Cycles)
+		g.Go(func(context.Context) error {
+			failed.set(i, l.Attempt(a.Name, "fig12/coalescing", func() error {
+				opt := core.DefaultOptions()
+				opt.Conditional = false
+				rows[i].coal = rel(a, a.ISPYVariantStats(opt, a.SimCfg()).Cycles)
+				return nil
+			}))
+			return nil
 		})
-		g.Go(func() {
-			rows[i].both = rel(a, a.ISPYStats().Cycles)
+		g.Go(func(context.Context) error {
+			failed.set(i, l.Attempt(a.Name, "fig12/full", func() error {
+				rows[i].both = rel(a, a.ISPYStats().Cycles)
+				return nil
+			}))
+			return nil
 		})
 	}
-	g.Wait()
+	l.wait(g, "fig12")
 	t := metrics.NewTable("app", "conditional-only vs AsmDB", "coalescing-only vs AsmDB", "full I-SPY vs AsmDB")
 	condWins := 0
 	for i, name := range l.Cfg.Apps {
+		if err := failed.get(i); err != nil {
+			t.AddRow(skipCells(name, err, 4)...)
+			continue
+		}
 		r := rows[i]
 		if r.cond > r.coal {
 			condWins++
@@ -132,11 +164,17 @@ func runFig13(l *Lab) *Result {
 	t := metrics.NewTable("app", "AsmDB accuracy", "I-SPY accuracy", "delta")
 	var acc, delta []float64
 	for _, a := range l.Apps() {
-		ad := a.AsmDBStats().PrefetchAccuracy() * 100
-		is := a.ISPYStats().PrefetchAccuracy() * 100
-		acc = append(acc, is)
-		delta = append(delta, is-ad)
-		t.AddRow(a.Name, fmtPct(ad), fmtPct(is), fmtPct(is-ad))
+		a := a
+		if err := l.Attempt(a.Name, "fig13", func() error {
+			ad := a.AsmDBStats().PrefetchAccuracy() * 100
+			is := a.ISPYStats().PrefetchAccuracy() * 100
+			acc = append(acc, is)
+			delta = append(delta, is-ad)
+			t.AddRow(a.Name, fmtPct(ad), fmtPct(is), fmtPct(is-ad))
+			return nil
+		}); err != nil {
+			t.AddRow(skipCells(a.Name, err, 4)...)
+		}
 	}
 	return &Result{
 		ID:    "fig13",
@@ -149,15 +187,21 @@ func runFig13(l *Lab) *Result {
 }
 
 func runFig14(l *Lab) *Result {
-	l.ForEachApp(func(a *App) { a.AsmDB(); a.ISPY() })
+	l.ForEachApp("fig14/warm", func(a *App) error { a.AsmDB(); a.ISPY(); return nil })
 	t := metrics.NewTable("app", "AsmDB static increase", "I-SPY static increase")
 	var ad, is []float64
 	for _, a := range l.Apps() {
-		x := a.AsmDB().StaticIncrease(a.W.Prog) * 100
-		y := a.ISPY().StaticIncrease(a.W.Prog) * 100
-		ad = append(ad, x)
-		is = append(is, y)
-		t.AddRow(a.Name, fmtPct(x), fmtPct(y))
+		a := a
+		if err := l.Attempt(a.Name, "fig14", func() error {
+			x := a.AsmDB().StaticIncrease(a.W.Prog) * 100
+			y := a.ISPY().StaticIncrease(a.W.Prog) * 100
+			ad = append(ad, x)
+			is = append(is, y)
+			t.AddRow(a.Name, fmtPct(x), fmtPct(y))
+			return nil
+		}); err != nil {
+			t.AddRow(skipCells(a.Name, err, 3)...)
+		}
 	}
 	return &Result{
 		ID:    "fig14",
@@ -175,11 +219,17 @@ func runFig15(l *Lab) *Result {
 	t := metrics.NewTable("app", "AsmDB dynamic increase", "I-SPY dynamic increase")
 	var ad, is []float64
 	for _, a := range l.Apps() {
-		x := a.AsmDBStats().DynFootprintIncrease() * 100
-		y := a.ISPYStats().DynFootprintIncrease() * 100
-		ad = append(ad, x)
-		is = append(is, y)
-		t.AddRow(a.Name, fmtPct(x), fmtPct(y))
+		a := a
+		if err := l.Attempt(a.Name, "fig15", func() error {
+			x := a.AsmDBStats().DynFootprintIncrease() * 100
+			y := a.ISPYStats().DynFootprintIncrease() * 100
+			ad = append(ad, x)
+			is = append(is, y)
+			t.AddRow(a.Name, fmtPct(x), fmtPct(y))
+			return nil
+		}); err != nil {
+			t.AddRow(skipCells(a.Name, err, 3)...)
+		}
 	}
 	fewer := 0.0
 	if m := metrics.Mean(ad); m > 0 {
@@ -203,6 +253,7 @@ func runFig16(l *Lab) *Result {
 	type cell struct {
 		input  string
 		pa, pi float64
+		err    error
 	}
 	cells := make([][]cell, len(fig16Apps))
 	g := l.Group()
@@ -212,28 +263,35 @@ func runFig16(l *Lab) *Result {
 		cells[ai] = make([]cell, len(inputs))
 		for ii, in := range inputs {
 			ai, ii, in, a := ai, ii, in, a
-			g.Go(func() {
-				cfg := a.SimCfg()
-				base := a.RunCachedInput("drift-base", a.W.Prog, cfg, in)
-				idealCfg := cfg
-				idealCfg.Ideal = true
-				ideal := a.RunCachedInput("drift-ideal", a.W.Prog, idealCfg, in)
-				adb := a.RunCachedInput("drift-asmdb", a.AsmDB().Prog, asmdbRunCfg(cfg), in)
-				isp := a.RunCachedInput("drift-ispy", a.ISPY().Prog, cfg, in)
-				cells[ai][ii] = cell{
-					input: in.Name,
-					pa:    metrics.PctOfIdeal(base.Cycles, adb.Cycles, ideal.Cycles),
-					pi:    metrics.PctOfIdeal(base.Cycles, isp.Cycles, ideal.Cycles),
-				}
+			cells[ai][ii].input = in.Name
+			cells[ai][ii].err = errNotRun
+			g.Go(func(context.Context) error {
+				cells[ai][ii].err = l.Attempt(a.Name, "fig16/"+in.Name, func() error {
+					cfg := a.SimCfg()
+					base := a.RunCachedInput("drift-base", a.W.Prog, cfg, in)
+					idealCfg := cfg
+					idealCfg.Ideal = true
+					ideal := a.RunCachedInput("drift-ideal", a.W.Prog, idealCfg, in)
+					adb := a.RunCachedInput("drift-asmdb", a.AsmDB().Prog, asmdbRunCfg(cfg), in)
+					isp := a.RunCachedInput("drift-ispy", a.ISPY().Prog, cfg, in)
+					cells[ai][ii].pa = metrics.PctOfIdeal(base.Cycles, adb.Cycles, ideal.Cycles)
+					cells[ai][ii].pi = metrics.PctOfIdeal(base.Cycles, isp.Cycles, ideal.Cycles)
+					return nil
+				})
+				return nil
 			})
 		}
 	}
-	g.Wait()
+	l.wait(g, "fig16")
 	t := metrics.NewTable("app", "input", "AsmDB %-of-ideal", "I-SPY %-of-ideal")
 	var worstISPY = 200.0
 	var ispyAll []float64
 	for ai, name := range fig16Apps {
 		for _, c := range cells[ai] {
+			if c.err != nil {
+				t.AddRow(name, c.input, "SKIPPED ("+errLine(c.err)+")", "-")
+				continue
+			}
 			ispyAll = append(ispyAll, c.pi)
 			if c.pi < worstISPY {
 				worstISPY = c.pi

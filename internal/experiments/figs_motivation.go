@@ -2,6 +2,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ispy/internal/asmdb"
@@ -43,14 +44,20 @@ func runTable1(l *Lab) *Result {
 }
 
 func runFig1(l *Lab) *Result {
-	l.ForEachApp(func(a *App) { a.Base() })
+	l.ForEachApp("fig1/warm", func(a *App) error { a.Base(); return nil })
 	t := metrics.NewTable("app", "frontend-bound", "base MPKI", "base IPC")
 	var fracs []float64
 	for _, a := range l.Apps() {
-		st := a.Base()
-		f := st.FrontendBoundFrac() * 100
-		fracs = append(fracs, f)
-		t.AddRowf(a.Name, fmtPct(f), st.MPKI(), fmt.Sprintf("%.2f", st.IPC()))
+		a := a
+		if err := l.Attempt(a.Name, "fig1", func() error {
+			st := a.Base()
+			f := st.FrontendBoundFrac() * 100
+			fracs = append(fracs, f)
+			t.AddRowf(a.Name, fmtPct(f), st.MPKI(), fmt.Sprintf("%.2f", st.IPC()))
+			return nil
+		}); err != nil {
+			t.AddRow(skipCells(a.Name, err, 4)...)
+		}
 	}
 	return &Result{
 		ID:    "fig1",
@@ -71,30 +78,42 @@ const fig3App = "wordpress"
 func runFig3(l *Lab) *Result {
 	a := l.App(fig3App)
 	thresholds := []float64{0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}
-	type cell struct{ planned, net, acc, pct float64 }
+	type cell struct {
+		planned, net, acc, pct float64
+		err                    error
+	}
 	cells := make([]cell, len(thresholds))
+	for i := range cells {
+		cells[i].err = errNotRun
+	}
 	g := l.Group()
 	for i, th := range thresholds {
 		i, th := i, th
-		g.Go(func() {
-			base, ideal := a.Base(), a.Ideal()
-			b, st := a.AsmDBAt(th)
-			// Planned (gross) coverage is the paper's "miss coverage"; the net
-			// MPKI reduction additionally reflects the pollution the extra
-			// low-accuracy prefetches cause.
-			cells[i] = cell{
-				planned: float64(b.Plan.MissesPlanned) / float64(b.Plan.MissesTotal) * 100,
-				net:     metrics.Reduction(base.MPKI(), st.MPKI()),
-				acc:     st.PrefetchAccuracy() * 100,
-				pct:     metrics.PctOfIdeal(base.Cycles, st.Cycles, ideal.Cycles),
-			}
+		g.Go(func(context.Context) error {
+			cells[i].err = l.Attempt(a.Name, fmt.Sprintf("fig3/th=%g", th), func() error {
+				base, ideal := a.Base(), a.Ideal()
+				b, st := a.AsmDBAt(th)
+				// Planned (gross) coverage is the paper's "miss coverage"; the net
+				// MPKI reduction additionally reflects the pollution the extra
+				// low-accuracy prefetches cause.
+				cells[i].planned = float64(b.Plan.MissesPlanned) / float64(b.Plan.MissesTotal) * 100
+				cells[i].net = metrics.Reduction(base.MPKI(), st.MPKI())
+				cells[i].acc = st.PrefetchAccuracy() * 100
+				cells[i].pct = metrics.PctOfIdeal(base.Cycles, st.Cycles, ideal.Cycles)
+				return nil
+			})
+			return nil
 		})
 	}
-	g.Wait()
+	l.wait(g, "fig3")
 	t := metrics.NewTable("fan-out threshold", "planned coverage", "net MPKI reduction", "prefetch accuracy", "% of ideal speedup")
 	var bestPct, bestTh float64
 	for i, th := range thresholds {
 		c := cells[i]
+		if c.err != nil {
+			t.AddRow(skipCells(fmt.Sprintf("%.1f%%", th*100), c.err, 5)...)
+			continue
+		}
 		if c.pct > bestPct {
 			bestPct, bestTh = c.pct, th
 		}
@@ -112,15 +131,21 @@ func runFig3(l *Lab) *Result {
 }
 
 func runFig4(l *Lab) *Result {
-	l.ForEachApp(func(a *App) { a.AsmDBStats() })
+	l.ForEachApp("fig4/warm", func(a *App) error { a.AsmDBStats(); return nil })
 	t := metrics.NewTable("app", "static increase", "dynamic increase")
 	var stat, dyn []float64
 	for _, a := range l.Apps() {
-		s := a.AsmDB().StaticIncrease(a.W.Prog) * 100
-		d := a.AsmDBStats().DynFootprintIncrease() * 100
-		stat = append(stat, s)
-		dyn = append(dyn, d)
-		t.AddRow(a.Name, fmtPct(s), fmtPct(d))
+		a := a
+		if err := l.Attempt(a.Name, "fig4", func() error {
+			s := a.AsmDB().StaticIncrease(a.W.Prog) * 100
+			d := a.AsmDBStats().DynFootprintIncrease() * 100
+			stat = append(stat, s)
+			dyn = append(dyn, d)
+			t.AddRow(a.Name, fmtPct(s), fmtPct(d))
+			return nil
+		}); err != nil {
+			t.AddRow(skipCells(a.Name, err, 3)...)
+		}
 	}
 	return &Result{
 		ID:    "fig4",
@@ -137,27 +162,37 @@ func runFig5(l *Lab) *Result {
 	type row struct {
 		app            string
 		contig, noncon float64
+		err            error
 	}
 	rows := make([]row, len(l.Cfg.Apps))
 	g := l.Group()
 	for i, a := range l.Apps() {
 		i, a := i, a
-		g.Go(func() {
-			base := a.Base()
-			in := workload.DefaultInput(a.W)
-			// The two window configurations differ in their prefetch masks,
-			// which the cache key folds in full, so one kind covers both.
-			contig := a.RunCachedInput("hwpf-run", a.W.Prog, asmdb.ContiguousConfig(a.SimCfg(), 8), in)
-			noncon := a.RunCachedInput("hwpf-run", a.W.Prog, asmdb.NonContiguousConfig(a.SimCfg(), a.Profile(), 8), in)
-			rows[i] = row{a.Name,
-				metrics.SpeedupPct(base.Cycles, contig.Cycles),
-				metrics.SpeedupPct(base.Cycles, noncon.Cycles)}
+		rows[i].app = a.Name
+		rows[i].err = errNotRun
+		g.Go(func(context.Context) error {
+			rows[i].err = l.Attempt(a.Name, "fig5", func() error {
+				base := a.Base()
+				in := workload.DefaultInput(a.W)
+				// The two window configurations differ in their prefetch masks,
+				// which the cache key folds in full, so one kind covers both.
+				contig := a.RunCachedInput("hwpf-run", a.W.Prog, asmdb.ContiguousConfig(a.SimCfg(), 8), in)
+				noncon := a.RunCachedInput("hwpf-run", a.W.Prog, asmdb.NonContiguousConfig(a.SimCfg(), a.Profile(), 8), in)
+				rows[i].contig = metrics.SpeedupPct(base.Cycles, contig.Cycles)
+				rows[i].noncon = metrics.SpeedupPct(base.Cycles, noncon.Cycles)
+				return nil
+			})
+			return nil
 		})
 	}
-	g.Wait()
+	l.wait(g, "fig5")
 	t := metrics.NewTable("app", "Contiguous-8 speedup", "Non-contiguous-8 speedup", "advantage")
 	var adv []float64
 	for _, r := range rows {
+		if r.err != nil {
+			t.AddRow(skipCells(r.app, r.err, 4)...)
+			continue
+		}
 		t.AddRow(r.app, fmtPct(r.contig), fmtPct(r.noncon), fmtPct(r.noncon-r.contig))
 		adv = append(adv, r.noncon-r.contig)
 	}

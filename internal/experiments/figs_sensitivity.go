@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -56,23 +57,29 @@ func runFig17(l *Lab) *Result {
 		i, k := i, k
 		for _, a := range l.Apps() {
 			a := a
-			g.Go(func() {
-				opt := core.DefaultOptions()
-				opt.Coalesce = false
-				opt.MaxPreds = k
-				opt.CandidatePool = k
-				if opt.CandidatePool < 8 {
-					opt.CandidatePool = 8
-				}
-				st := a.ISPYVariantStats(opt, a.SweepCfg())
-				// Sweep runs use the sweep budget; % of ideal needs matched
-				// base/ideal — base/ideal cycles scale linearly with the
-				// instruction budget, so the rescaled ratio is budget-invariant.
-				accs[i].add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+			g.Go(func(context.Context) error {
+				// A failed point is recorded in the run report and simply
+				// excluded from the mean (meanAcc tracks its own denominator).
+				l.Attempt(a.Name, fmt.Sprintf("fig17/preds=%d", k), func() error {
+					opt := core.DefaultOptions()
+					opt.Coalesce = false
+					opt.MaxPreds = k
+					opt.CandidatePool = k
+					if opt.CandidatePool < 8 {
+						opt.CandidatePool = 8
+					}
+					st := a.ISPYVariantStats(opt, a.SweepCfg())
+					// Sweep runs use the sweep budget; % of ideal needs matched
+					// base/ideal — base/ideal cycles scale linearly with the
+					// instruction budget, so the rescaled ratio is budget-invariant.
+					accs[i].add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+					return nil
+				})
+				return nil
 			})
 		}
 	}
-	g.Wait()
+	l.wait(g, "fig17")
 	means := make([]float64, len(preds))
 	t := metrics.NewTable("predecessors in context", "avg % of ideal (conditional-only)")
 	for i, k := range preds {
@@ -113,12 +120,16 @@ func runFig18(l *Lab) *Result {
 	// The window changes site selection, so the shared labeled-context
 	// evidence cannot be reused; each point builds fresh at sweep cost.
 	eval := func(a *App, minD, maxD uint64, acc *meanAcc) {
-		g.Go(func() {
-			opt := core.DefaultOptions()
-			opt.MinDistCycles = minD
-			opt.MaxDistCycles = maxD
-			st := a.FreshVariantStats(opt, a.SweepCfg(), a.SweepCfg())
-			acc.add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+		g.Go(func(context.Context) error {
+			l.Attempt(a.Name, fmt.Sprintf("fig18/dist=%d-%d", minD, maxD), func() error {
+				opt := core.DefaultOptions()
+				opt.MinDistCycles = minD
+				opt.MaxDistCycles = maxD
+				st := a.FreshVariantStats(opt, a.SweepCfg(), a.SweepCfg())
+				acc.add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+				return nil
+			})
+			return nil
 		})
 	}
 	for i, d := range minDists {
@@ -131,7 +142,7 @@ func runFig18(l *Lab) *Result {
 			eval(a, 27, d, &maxAccs[i])
 		}
 	}
-	g.Wait()
+	l.wait(g, "fig18")
 
 	t := metrics.NewTable("sweep", "value (cycles)", "avg % of ideal")
 	minMeans := make([]float64, len(minDists))
@@ -168,16 +179,20 @@ func runFig19(l *Lab) *Result {
 		i, bits := i, bits
 		for _, a := range l.Apps() {
 			a := a
-			g.Go(func() {
-				opt := core.DefaultOptions()
-				opt.Conditional = false // coalescing-only, the figure's subject
-				opt.CoalesceBits = bits
-				st := a.ISPYVariantStats(opt, a.SweepCfg())
-				accs[i].add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+			g.Go(func(context.Context) error {
+				l.Attempt(a.Name, fmt.Sprintf("fig19/bits=%d", bits), func() error {
+					opt := core.DefaultOptions()
+					opt.Conditional = false // coalescing-only, the figure's subject
+					opt.CoalesceBits = bits
+					st := a.ISPYVariantStats(opt, a.SweepCfg())
+					accs[i].add(metrics.PctOfIdeal(scaleCycles(a.Base(), st), st.Cycles, scaleCycles(a.Ideal(), st)))
+					return nil
+				})
+				return nil
 			})
 		}
 	}
-	g.Wait()
+	l.wait(g, "fig19")
 	means := make([]float64, len(sizes))
 	t := metrics.NewTable("coalescing bits", "avg % of ideal (coalescing-only)")
 	for i, bits := range sizes {
@@ -198,16 +213,22 @@ func runFig20(l *Lab) *Result {
 	distCounts := make(map[int]int)
 	lineCounts := make(map[int]int)
 	totalInstr := 0
-	l.ForEachApp(func(a *App) { a.ISPY() })
+	l.ForEachApp("fig20/warm", func(a *App) error { a.ISPY(); return nil })
 	for _, a := range l.Apps() {
-		plan := a.ISPY().Plan
-		for _, d := range plan.CoalesceDistances {
-			distCounts[d]++
-		}
-		for _, c := range plan.CoalescedLineCounts {
-			lineCounts[c]++
-			totalInstr++
-		}
+		a := a
+		// A failed app is excluded from the aggregate histograms; the run
+		// report names it.
+		l.Attempt(a.Name, "fig20", func() error {
+			plan := a.ISPY().Plan
+			for _, d := range plan.CoalesceDistances {
+				distCounts[d]++
+			}
+			for _, c := range plan.CoalescedLineCounts {
+				lineCounts[c]++
+				totalInstr++
+			}
+			return nil
+		})
 	}
 	t := metrics.NewTable("metric", "value", "probability")
 	var dists []int
@@ -249,22 +270,37 @@ func runFig20(l *Lab) *Result {
 func runFig21(l *Lab) *Result {
 	a := l.App(fig3App) // wordpress, as in the paper
 	sizes := []int{4, 8, 16, 32, 64}
-	type cell struct{ fp, static float64 }
+	type cell struct {
+		fp, static float64
+		err        error
+	}
 	cells := make([]cell, len(sizes))
+	for i := range cells {
+		cells[i].err = errNotRun
+	}
 	g := l.Group()
 	for i, bits := range sizes {
 		i, bits := i, bits
-		g.Go(func() {
-			opt := core.DefaultOptions()
-			opt.HashBits = bits
-			b, st := a.ISPYVariant(opt, a.SweepCfg())
-			cells[i] = cell{st.CondFalsePositiveRate() * 100, b.StaticIncrease(a.W.Prog) * 100}
+		g.Go(func(context.Context) error {
+			cells[i].err = l.Attempt(a.Name, fmt.Sprintf("fig21/bits=%d", bits), func() error {
+				opt := core.DefaultOptions()
+				opt.HashBits = bits
+				b, st := a.ISPYVariant(opt, a.SweepCfg())
+				cells[i].fp = st.CondFalsePositiveRate() * 100
+				cells[i].static = b.StaticIncrease(a.W.Prog) * 100
+				return nil
+			})
+			return nil
 		})
 	}
-	g.Wait()
+	l.wait(g, "fig21")
 	t := metrics.NewTable("context-hash bits", "false-positive rate", "static footprint increase")
 	var fp16, static16 float64
 	for i, bits := range sizes {
+		if cells[i].err != nil {
+			t.AddRow(skipCells(fmt.Sprint(bits), cells[i].err, 3)...)
+			continue
+		}
 		if bits == 16 {
 			fp16, static16 = cells[i].fp, cells[i].static
 		}

@@ -9,16 +9,20 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"ispy/internal/artifacts"
 	"ispy/internal/asmdb"
 	"ispy/internal/core"
+	"ispy/internal/faults"
 	"ispy/internal/isa"
 	"ispy/internal/metrics"
 	"ispy/internal/profile"
@@ -47,6 +51,9 @@ type Config struct {
 	CacheDir string
 	// Verbose streams per-artifact progress lines to stderr.
 	Verbose bool
+	// Faults, when non-nil, injects deterministic faults at the harness's
+	// tagged sites (artifact-cache I/O, per-artifact compute). Testing only.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -96,20 +103,31 @@ func (c Config) WithMeasureInstrs(n uint64) Config {
 }
 
 // Lab owns the per-application artifact memos, the shared worker pool, the
-// optional on-disk artifact cache, and the run telemetry.
+// optional on-disk artifact cache, the run telemetry, and the run report.
+// The lab's context governs cancellation: when it is cancelled (SIGINT,
+// -timeout), queued pool tasks and not-yet-started per-app attempts are
+// skipped and reported instead of run.
 type Lab struct {
 	Cfg  Config
+	ctx  context.Context
 	mu   sync.Mutex
 	apps map[string]*App
 
 	pool     *Pool
 	tel      *metrics.Telemetry
+	report   *Report
+	faults   *faults.Injector
 	cache    *artifacts.Cache
 	cacheErr error
 }
 
-// NewLab creates a lab over cfg (zero fields take defaults).
-func NewLab(cfg Config) *Lab {
+// NewLab creates a lab over cfg (zero fields take defaults) that is never
+// cancelled.
+func NewLab(cfg Config) *Lab { return NewLabContext(context.Background(), cfg) }
+
+// NewLabContext creates a lab whose run is governed by ctx: cancellation
+// skips queued work, and the skips are accounted in the run report.
+func NewLabContext(ctx context.Context, cfg Config) *Lab {
 	d := DefaultConfig()
 	if len(cfg.Apps) == 0 {
 		cfg.Apps = d.Apps
@@ -137,11 +155,17 @@ func NewLab(cfg Config) *Lab {
 	if cfg.Verbose {
 		out = os.Stderr
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	l := &Lab{
-		Cfg:  cfg,
-		apps: make(map[string]*App),
-		pool: NewPool(jobs),
-		tel:  metrics.NewTelemetry(out),
+		Cfg:    cfg,
+		ctx:    ctx,
+		apps:   make(map[string]*App),
+		pool:   NewPool(jobs),
+		tel:    metrics.NewTelemetry(out),
+		report: NewReport(),
+		faults: cfg.Faults,
 	}
 	if cfg.CacheDir != "" {
 		c, err := artifacts.Open(cfg.CacheDir)
@@ -149,6 +173,8 @@ func NewLab(cfg Config) *Lab {
 			l.cacheErr = err
 		} else {
 			l.cache = c
+			c.OnEvict(func(kind string) { l.tel.CacheEvict(kind) })
+			c.SetFaults(cfg.Faults)
 		}
 	}
 	return l
@@ -157,22 +183,91 @@ func NewLab(cfg Config) *Lab {
 // Telemetry returns the lab's run telemetry (never nil).
 func (l *Lab) Telemetry() *metrics.Telemetry { return l.tel }
 
+// Report returns the lab's run report (never nil).
+func (l *Lab) Report() *Report { return l.report }
+
+// Context returns the context governing the run.
+func (l *Lab) Context() context.Context { return l.ctx }
+
 // Pool returns the shared worker pool.
 func (l *Lab) Pool() *Pool { return l.pool }
 
-// Group starts a task group on the shared pool.
-func (l *Lab) Group() *Group { return l.pool.Group() }
+// Group starts a task group on the shared pool under the lab's context.
+func (l *Lab) Group() *Group { return l.pool.Group(l.ctx) }
+
+// wait drains g and routes its outcome — task errors and cancellation skips
+// — into the run report under stage.
+func (l *Lab) wait(g *Group, stage string) {
+	l.report.RecordWait(stage, g.Wait())
+}
+
+// Attempt runs body on behalf of one app under the named stage, containing
+// failure: a panic (a real bug, an injected fault, or the memoized replay of
+// an earlier one) or an error return is recorded in the run report — with
+// the app, the stage, and the time spent — and returned, instead of
+// propagating. If the lab's context is already cancelled the body is not run
+// at all; the skip is reported and a *SkipError returned so callers can
+// annotate the surviving output.
+func (l *Lab) Attempt(app, stage string, body func() error) (err error) {
+	if cerr := l.ctx.Err(); cerr != nil {
+		l.report.Skip(stage, 1, context.Cause(l.ctx))
+		return &SkipError{Skipped: 1, Cause: context.Cause(l.ctx)}
+	}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe // replayed panic: keep the original stack
+			} else {
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}
+		if err != nil {
+			l.report.Record(app, stage, err, time.Since(start))
+		}
+	}()
+	return body()
+}
+
+// faultHit evaluates the fault injector (when configured) at a compute site.
+// An injected error surfaces as a panic so it flows through exactly the
+// containment path a real compute failure takes.
+func (l *Lab) faultHit(site string) {
+	if l.faults == nil {
+		return
+	}
+	if err := l.faults.Hit(site); err != nil {
+		panic(err)
+	}
+}
 
 // memo is a write-once cell: concurrent callers of get observe exactly one
 // evaluation of f. Distinct memos make independent artifacts of one App
 // computable in parallel (the old single-mutex design serialized them).
+//
+// A panicking f is remembered too: every later get replays the original
+// panic value instead of silently returning a zero artifact (sync.Once burns
+// its ticket on panic), so each experiment that touches a failed artifact
+// records the same root cause in the run report.
 type memo[T any] struct {
-	once sync.Once
-	v    T
+	once     sync.Once
+	v        T
+	panicked any
 }
 
 func (m *memo[T]) get(f func() T) T {
-	m.once.Do(func() { m.v = f() })
+	m.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				m.panicked = r
+				panic(r)
+			}
+		}()
+		m.v = f()
+	})
+	if r := m.panicked; r != nil {
+		panic(r)
+	}
 	return m.v
 }
 
@@ -214,14 +309,19 @@ func (l *Lab) Apps() []*App {
 	return out
 }
 
-// ForEachApp runs f over every configured app through the shared pool.
-func (l *Lab) ForEachApp(f func(*App)) {
+// ForEachApp runs f over every configured app through the shared pool,
+// containing each app's failure independently: a panicking or erroring app
+// is recorded in the run report under stage and does not disturb the others.
+func (l *Lab) ForEachApp(stage string, f func(*App) error) {
 	g := l.Group()
 	for _, a := range l.Apps() {
 		a := a
-		g.Go(func() { f(a) })
+		g.Go(func(context.Context) error {
+			l.Attempt(a.Name, stage, func() error { return f(a) })
+			return nil
+		})
 	}
-	g.Wait()
+	l.wait(g, stage)
 }
 
 // SimCfg returns the headline simulator configuration for this app.
@@ -311,6 +411,7 @@ func (a *App) AsmDBStats() *sim.Stats {
 // build and run hits, so Prepare is never reached.
 func (a *App) Prepared() *core.Prepared {
 	return a.prepared.get(func() *core.Prepared {
+		a.lab.faultHit("compute/prepared/" + a.Name)
 		a.lab.tel.CacheBypass("prepared")
 		return core.Prepare(a.Profile(), a.SimCfg(), core.DefaultOptions())
 	})
@@ -340,16 +441,29 @@ func (a *App) ISPYStats() *sim.Stats {
 // Warm computes the default artifact set (base, ideal, profile, AsmDB,
 // I-SPY and their runs) for all configured apps, submitting each artifact as
 // its own pool task so the whole run saturates the pool even with one app.
+// A failing artifact is contained per (app, artifact): it is recorded in the
+// run report and the remaining apps and artifacts still compute.
 func (l *Lab) Warm() {
 	g := l.Group()
 	for _, a := range l.Apps() {
 		a := a
-		g.Go(func() { a.Base() })
-		g.Go(func() { a.Ideal() })
-		g.Go(func() { a.AsmDBStats() })
-		g.Go(func() { a.ISPYStats() })
+		for _, art := range []struct {
+			name string
+			get  func()
+		}{
+			{"base", func() { a.Base() }},
+			{"ideal", func() { a.Ideal() }},
+			{"asmdb-run", func() { a.AsmDBStats() }},
+			{"ispy-run", func() { a.ISPYStats() }},
+		} {
+			art := art
+			g.Go(func(context.Context) error {
+				l.Attempt(a.Name, "warm/"+art.name, func() error { art.get(); return nil })
+				return nil
+			})
+		}
 	}
-	g.Wait()
+	l.wait(g, "warm")
 }
 
 // appCheck verifies the lab config references known apps early.

@@ -1,0 +1,220 @@
+// The structured run report: per-app, per-stage failure records and skip
+// counts that let a multi-app evaluation degrade gracefully instead of
+// aborting. Every contained failure — a panicking artifact computation, an
+// injected fault, a cancelled queue — lands here; cmd/ispy prints the report
+// at exit and derives the process exit code from it (0 only on a fully clean
+// run).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Failure is one contained failure: which app, in which stage of which
+// experiment, what went wrong, and how long the attempt ran before dying.
+type Failure struct {
+	App      string // "" for run-level (appless) failures
+	Stage    string // e.g. "warm/base", "fig10", "sweep/preds=1"
+	Err      error
+	Duration time.Duration
+}
+
+// Report accumulates one run's contained failures and skipped work. All
+// methods are safe for concurrent use; a nil *Report is a valid no-op sink.
+type Report struct {
+	mu        sync.Mutex
+	failures  []Failure
+	skipped   int
+	skipCause error
+}
+
+// NewReport returns an empty run report.
+func NewReport() *Report { return &Report{} }
+
+// Record adds one contained failure.
+func (r *Report) Record(app, stage string, err error, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.failures = append(r.failures, Failure{App: app, Stage: stage, Err: err, Duration: d})
+	r.mu.Unlock()
+}
+
+// Skip adds n tasks that were never started (cancellation, timeout).
+func (r *Report) Skip(stage string, n int, cause error) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.skipped += n
+	if r.skipCause == nil {
+		r.skipCause = cause
+	}
+	r.mu.Unlock()
+}
+
+// RecordWait unpacks a Group.Wait error into the report: skip errors feed
+// the skip counters, everything else is recorded as a run-level failure
+// under stage. A nil error is a no-op.
+func (r *Report) RecordWait(stage string, err error) {
+	if r == nil || err == nil {
+		return
+	}
+	for _, e := range unjoin(err) {
+		var se *SkipError
+		if errors.As(e, &se) {
+			r.Skip(stage, se.Skipped, se.Cause)
+			continue
+		}
+		r.Record("", stage, e, 0)
+	}
+}
+
+// unjoin flattens an errors.Join tree into its leaves.
+func unjoin(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []error
+		for _, e := range u.Unwrap() {
+			out = append(out, unjoin(e)...)
+		}
+		return out
+	}
+	return []error{err}
+}
+
+// Failures returns a copy of the recorded failures.
+func (r *Report) Failures() []Failure {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Failure(nil), r.failures...)
+}
+
+// FailedApp returns the first recorded failure for app (nil if the app is
+// healthy so far).
+func (r *Report) FailedApp(app string) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.failures {
+		if f.App == app {
+			return f.Err
+		}
+	}
+	return nil
+}
+
+// Skipped returns how many queued tasks were abandoned before starting.
+func (r *Report) Skipped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.skipped
+}
+
+// Clean reports whether the run saw no contained failures and no skipped
+// work — the condition for exit code 0.
+func (r *Report) Clean() bool {
+	if r == nil {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failures) == 0 && r.skipped == 0
+}
+
+// Summary renders the report for the end of a run. Empty for a clean run.
+func (r *Report) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.failures) == 0 && r.skipped == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "run report: %d failure(s), %d task(s) skipped\n", len(r.failures), r.skipped)
+	for _, f := range r.failures {
+		app := f.App
+		if app == "" {
+			app = "(run)"
+		}
+		fmt.Fprintf(&b, "  FAILED  %-12s %-20s %s", app, f.Stage, errLine(f.Err))
+		if f.Duration > 0 {
+			fmt.Fprintf(&b, " (after %.2fs)", f.Duration.Seconds())
+		}
+		b.WriteByte('\n')
+	}
+	if r.skipped > 0 {
+		fmt.Fprintf(&b, "  SKIPPED %d queued task(s): %s\n", r.skipped, errLine(r.skipCause))
+	}
+	return b.String()
+}
+
+// errNotRun marks grid slots whose task never started (cancellation skipped
+// it before it ran); render paths turn it into a SKIPPED row instead of a
+// zero-value one.
+var errNotRun = errors.New("not run (canceled)")
+
+// failSet tracks per-slot failures written by concurrent pool tasks, for
+// figure grids where several tasks contribute to one output row. Slots start
+// as not-run; a task that runs clears the sentinel, and the first real error
+// per slot wins.
+type failSet struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func newFailSet(n int) *failSet {
+	f := &failSet{errs: make([]error, n)}
+	for i := range f.errs {
+		f.errs[i] = errNotRun
+	}
+	return f
+}
+
+func (f *failSet) set(i int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case errors.Is(f.errs[i], errNotRun):
+		f.errs[i] = err
+	case f.errs[i] == nil && err != nil:
+		f.errs[i] = err
+	}
+}
+
+func (f *failSet) get(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.errs[i]
+}
+
+// errLine renders an error as a single bounded line (PanicError stacks and
+// joined errors can span pages; tables and summaries want the headline).
+func errLine(err error) string {
+	if err == nil {
+		return "canceled"
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	const maxLen = 120
+	if len(s) > maxLen {
+		s = s[:maxLen] + "…"
+	}
+	return s
+}

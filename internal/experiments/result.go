@@ -98,3 +98,19 @@ func Get(id string) (Spec, bool) {
 
 // fmtPct renders a percentage with one decimal.
 func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// skipCells renders a table row for an app (or sweep point) whose
+// computation failed: the row label, a SKIPPED annotation naming the error,
+// and "-" placeholders out to width columns. Figures degrade to these rows
+// instead of aborting the whole run.
+func skipCells(name string, err error, width int) []string {
+	cells := make([]string, width)
+	cells[0] = name
+	if width > 1 {
+		cells[1] = "SKIPPED (" + errLine(err) + ")"
+	}
+	for i := 2; i < width; i++ {
+		cells[i] = "-"
+	}
+	return cells
+}

@@ -27,6 +27,7 @@ type Telemetry struct {
 // kindStats is one artifact kind's accumulated counters.
 type kindStats struct {
 	hits, misses, bypass uint64
+	evicted              uint64
 	computes             uint64
 	wall                 time.Duration
 }
@@ -77,6 +78,17 @@ func (t *Telemetry) CacheBypass(kind string) {
 	t.mu.Unlock()
 }
 
+// CacheEvict records that a corrupt/truncated/stale cache entry of kind was
+// deleted from disk during a load.
+func (t *Telemetry) CacheEvict(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.kind(kind).evicted++
+	t.mu.Unlock()
+}
+
 // ObserveArtifact records d of wall time spent computing one artifact of the
 // given kind.
 func (t *Telemetry) ObserveArtifact(kind string, d time.Duration) {
@@ -113,6 +125,9 @@ func (t *Telemetry) Misses() uint64 { return t.total(func(s *kindStats) uint64 {
 // Bypasses returns the total cache bypasses across kinds.
 func (t *Telemetry) Bypasses() uint64 { return t.total(func(s *kindStats) uint64 { return s.bypass }) }
 
+// Evictions returns the total corrupt-entry evictions across kinds.
+func (t *Telemetry) Evictions() uint64 { return t.total(func(s *kindStats) uint64 { return s.evicted }) }
+
 func (t *Telemetry) total(f func(*kindStats) uint64) uint64 {
 	if t == nil {
 		return 0
@@ -138,21 +153,22 @@ func (t *Telemetry) Summary() string {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	tab := NewTable("artifact", "hits", "misses", "bypass", "computed", "wall")
-	var hits, misses, bypass, computes uint64
+	tab := NewTable("artifact", "hits", "misses", "bypass", "evicted", "computed", "wall")
+	var hits, misses, bypass, evicted, computes uint64
 	var wall time.Duration
 	for _, k := range names {
 		s := t.kinds[k]
 		hits += s.hits
 		misses += s.misses
 		bypass += s.bypass
+		evicted += s.evicted
 		computes += s.computes
 		wall += s.wall
 		tab.AddRow(k, fmt.Sprint(s.hits), fmt.Sprint(s.misses), fmt.Sprint(s.bypass),
-			fmt.Sprint(s.computes), fmtDur(s.wall))
+			fmt.Sprint(s.evicted), fmt.Sprint(s.computes), fmtDur(s.wall))
 	}
 	tab.AddRow("total", fmt.Sprint(hits), fmt.Sprint(misses), fmt.Sprint(bypass),
-		fmt.Sprint(computes), fmtDur(wall))
+		fmt.Sprint(evicted), fmt.Sprint(computes), fmtDur(wall))
 	var b strings.Builder
 	fmt.Fprintf(&b, "run telemetry (elapsed %.1fs, artifact wall time %s):\n", time.Since(t.start).Seconds(), fmtDur(wall))
 	b.WriteString(tab.String())

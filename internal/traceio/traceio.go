@@ -125,13 +125,30 @@ func (d *reader) str() string {
 	return string(b)
 }
 
-// count guards slice allocations against corrupt headers.
+// count guards slice allocations against corrupt headers. It returns 0 on
+// any invalid count: a value above max must not leak out, since a uint64
+// past 1<<63 converts to a negative int and make() panics on negative caps.
 func (d *reader) count(max uint64, what string) int {
 	n := d.uvarint()
-	if d.err == nil && n > max {
+	if d.err != nil {
+		return 0
+	}
+	if n > max {
 		d.err = fmt.Errorf("traceio: %s count %d exceeds sanity bound %d", what, n, max)
+		return 0
 	}
 	return int(n)
+}
+
+// capHint bounds the initial capacity of a decoded slice. A corrupt header
+// can claim a huge element count backed by no data; allocating it up front
+// turns a few garbage bytes into a multi-hundred-MB allocation. Capacities
+// start at most at max and grow only as elements actually decode.
+func capHint(n, max int) int {
+	if n < max {
+		return n
+	}
+	return max
 }
 
 // WriteProgram serializes a laid-out program.
@@ -189,32 +206,39 @@ func ReadProgram(r io.Reader) (*isa.Program, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	p.Layout()
+	// Validate BEFORE Layout: Layout indexes p.Blocks through the funcs'
+	// block lists and the instrs' targets unchecked, so laying out a
+	// malformed (fuzzed, corrupted) program panics. Validate checks exactly
+	// those ranges without needing addresses.
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("traceio: deserialized program invalid: %w", err)
 	}
+	p.Layout()
 	return p, nil
 }
 
 func readProgramBody(d *reader) *isa.Program {
 	p := &isa.Program{}
 	nf := d.count(1<<22, "func")
-	p.Funcs = make([]isa.Func, 0, nf)
+	p.Funcs = make([]isa.Func, 0, capHint(nf, 4096))
 	for i := 0; i < nf && d.err == nil; i++ {
 		f := isa.Func{Name: d.str(), Align: int(d.uvarint())}
+		if d.err == nil && (f.Align < 0 || f.Align > 1<<16) {
+			d.err = fmt.Errorf("traceio: func align %d out of range", f.Align)
+		}
 		nb := d.count(1<<24, "func block")
-		f.Blocks = make([]int, 0, nb)
+		f.Blocks = make([]int, 0, capHint(nb, 4096))
 		for j := 0; j < nb && d.err == nil; j++ {
 			f.Blocks = append(f.Blocks, int(d.uvarint()))
 		}
 		p.Funcs = append(p.Funcs, f)
 	}
 	nb := d.count(1<<24, "block")
-	p.Blocks = make([]isa.Block, 0, nb)
+	p.Blocks = make([]isa.Block, 0, capHint(nb, 4096))
 	for i := 0; i < nb && d.err == nil; i++ {
 		b := isa.Block{ID: i, Func: int(d.uvarint())}
 		ni := d.count(1<<20, "instr")
-		b.Instrs = make([]isa.Instr, 0, ni)
+		b.Instrs = make([]isa.Instr, 0, capHint(ni, 1024))
 		for j := 0; j < ni && d.err == nil; j++ {
 			in := isa.Instr{Kind: isa.Kind(d.uvarint()), Size: uint8(d.uvarint()), TargetBlock: -1}
 			if in.Kind.IsPrefetch() {
@@ -321,21 +345,33 @@ func ReadProfile(r io.Reader) (*ProfileData, error) {
 	pd.BaseCycles = d.uvarint()
 	pd.BaseInstrs = d.uvarint()
 
+	// Decode the per-block series into growable scratch first and only build
+	// the graph (whose constructor allocates three nb-sized slices) once the
+	// claimed block count has been backed by actual data — a garbage header
+	// claiming 2^24 blocks must fail with a decode error, not allocate
+	// hundreds of MB.
 	nb := d.count(1<<24, "graph block")
+	exec := make([]uint64, 0, capHint(nb, 1<<16))
+	for i := 0; i < nb && d.err == nil; i++ {
+		exec = append(exec, d.uvarint())
+	}
+	cycles := make([]float64, 0, capHint(nb, 1<<16))
+	for i := 0; i < nb && d.err == nil; i++ {
+		cycles = append(cycles, d.float())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
 	g := cfg.NewGraph(nb)
-	for i := 0; i < nb && d.err == nil; i++ {
-		g.Exec[i] = d.uvarint()
-	}
-	for i := 0; i < nb && d.err == nil; i++ {
-		g.Cycles[i] = d.float()
-	}
+	copy(g.Exec, exec)
+	copy(g.Cycles, cycles)
 	for i := 0; i < nb && d.err == nil; i++ {
 		ne := d.count(1<<20, "edge")
 		for j := 0; j < ne && d.err == nil; j++ {
 			to := int32(d.varint())
 			n := d.uvarint()
 			if g.Edges[i] == nil {
-				g.Edges[i] = make(map[int32]uint64, ne)
+				g.Edges[i] = make(map[int32]uint64, capHint(ne, 256))
 			}
 			g.Edges[i][to] = n
 		}

@@ -1,6 +1,8 @@
 #!/bin/sh
-# The repository gate: vet, build, race-enabled tests. `make check` runs the
-# same steps; this script exists for environments without make.
+# The repository gate: vet, build, race-enabled tests, a short fuzz pass
+# over the trace decoders, and a CLI-level fault-injection smoke. `make
+# check` runs the same steps; this script exists for environments without
+# make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,4 +12,16 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== fuzz smoke (decoders, 5s)"
+go test -run=NONE -fuzz=FuzzDecode -fuzztime=5s ./internal/traceio
+echo "== fault-injection smoke (must exit 1, not crash)"
+set +e
+go run ./cmd/ispy -apps tomcat -instrs 120000 \
+    -faults 'compute/base/*=panic' run fig1 >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "fault-injection smoke: exit code $rc, want 1" >&2
+    exit 1
+fi
 echo "== all checks passed"
