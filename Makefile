@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz faultsmoke bench
+.PHONY: check fmtcheck vet build test race fuzz faultsmoke benchsmoke benchall bench
 
 # The full gate: what CI (and every PR) must pass.
-check: vet build race fuzz faultsmoke
+check: fmtcheck vet build race fuzz faultsmoke benchsmoke
+
+# gofmt enforcement: fails listing any file that needs formatting.
+fmtcheck:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l flagged:"; echo "$$unformatted"; exit 1; fi
+	@echo "fmtcheck: ok"
 
 vet:
 	$(GO) vet ./...
@@ -31,5 +37,17 @@ faultsmoke:
 		echo "faultsmoke: exit code $$rc, want 1"; exit 1; fi
 	@echo "faultsmoke: ok (exit 1 with contained failure)"
 
-bench:
+# Benchmark smoke: scripts/bench.sh must produce parseable JSON. The test
+# skips itself unless the env var is set because it spawns a nested
+# `go test -bench`.
+benchsmoke:
+	ISPY_BENCH_SMOKE=1 $(GO) test -run TestBenchScriptEmitsJSON .
+
+# The full benchmark suite (per-figure regeneration + ablations).
+benchall:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# The reproducible perf baseline: headline benchmarks → BENCH_PR3.json at
+# the repo root (see docs/PERFORMANCE.md).
+bench:
+	./scripts/bench.sh -o BENCH_PR3.json

@@ -1,0 +1,59 @@
+// Benchmark-smoke test: scripts/bench.sh must emit parseable JSON with the
+// fields the perf trajectory depends on. The test spawns a nested `go test
+// -bench`, so it only runs when asked for explicitly (make benchsmoke sets
+// the environment variable); plain `go test ./...` skips it.
+package ispy_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchScriptEmitsJSON(t *testing.T) {
+	if os.Getenv("ISPY_BENCH_SMOKE") == "" {
+		t.Skip("spawns a nested `go test -bench`; run via `make benchsmoke` (sets ISPY_BENCH_SMOKE=1)")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cmd := exec.Command("./scripts/bench.sh", "-quick", "-o", out)
+	if text, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("bench.sh failed: %v\n%s", err, text)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("bench.sh did not write %s: %v", out, err)
+	}
+	var f struct {
+		PR              string  `json:"pr"`
+		GoVersion       string  `json:"go_version"`
+		FastpathSpeedup float64 `json:"fastpath_speedup"`
+		Benchmarks      []struct {
+			Name    string             `json:"name"`
+			NsPerOp float64            `json:"ns_per_op"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if f.PR == "" || f.GoVersion == "" {
+		t.Errorf("missing provenance fields: pr=%q go_version=%q", f.PR, f.GoVersion)
+	}
+	if len(f.Benchmarks) < 2 {
+		t.Fatalf("expected at least fast-path + reference benchmarks, got %d", len(f.Benchmarks))
+	}
+	for _, b := range f.Benchmarks {
+		if b.NsPerOp <= 0 {
+			t.Errorf("benchmark %q has non-positive ns/op", b.Name)
+		}
+		if b.Metrics["instrs/s"] <= 0 {
+			t.Errorf("benchmark %q is missing the instrs/s metric", b.Name)
+		}
+	}
+	if f.FastpathSpeedup <= 0 {
+		t.Errorf("fastpath_speedup not derived (got %v)", f.FastpathSpeedup)
+	}
+}

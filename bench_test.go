@@ -17,6 +17,7 @@ import (
 
 	"ispy/internal/core"
 	"ispy/internal/experiments"
+	"ispy/internal/isa"
 	"ispy/internal/metrics"
 	"ispy/internal/sim"
 	"ispy/internal/workload"
@@ -126,21 +127,41 @@ func BenchmarkAblationCoalescingOnly(b *testing.B) {
 	b.ReportMetric(metrics.SpeedupPct(a.Base().Cycles, st.Cycles), "speedup-%")
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed (workload
-// instructions per second), the figure of merit for the substrate itself.
-func BenchmarkSimulatorThroughput(b *testing.B) {
-	w := workload.Preset("wordpress")
+// benchSimThroughput times one kernel on one app preset and reports
+// simulated workload instructions per wall-clock second, the figure of
+// merit for the substrate itself. Both kernels run the same seeded stream,
+// so fast-vs-reference ratios are apples to apples. Each op simulates 4M
+// instructions so that per-run setup (cache allocation, plan building)
+// amortizes away and the metric reflects steady-state throughput.
+func benchSimThroughput(b *testing.B, app string, kernel func(*isa.Program, sim.BlockSource, sim.Config, *sim.Hooks) *sim.Stats) {
+	w := workload.Preset(app)
 	cfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
-	cfg.MaxInstrs = 1_000_000
+	cfg.MaxInstrs = 4_000_000
 	cfg.WarmupInstrs = 0
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		st := sim.Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
-		instrs = st.BaseInstrs
+		st := kernel(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+		instrs += st.BaseInstrs
 	}
-	b.SetBytes(0)
-	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkSimulatorThroughput measures the fast-path kernel's raw
+// simulation speed on every app preset. scripts/bench.sh records these in
+// BENCH_*.json as the repo's perf trajectory.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, name := range workload.AppNames {
+		name := name
+		b.Run(name, func(b *testing.B) { benchSimThroughput(b, name, sim.Run) })
+	}
+}
+
+// BenchmarkSimulatorReference times the golden reference kernel on the
+// default preset; the ratio against BenchmarkSimulatorThroughput/wordpress
+// is the fast path's speedup (benchjson derives it as fastpath_speedup).
+func BenchmarkSimulatorReference(b *testing.B) {
+	benchSimThroughput(b, "wordpress", sim.RunReference)
 }
 
 // BenchmarkAnalysisPipeline times the offline analysis alone (profile in

@@ -22,6 +22,10 @@
 //	-seq          disable parallelism (deterministic ordering of log lines)
 //	-faults S     deterministic fault-injection spec (testing; see internal/faults)
 //	-fault-seed N seed for -faults decisions
+//	-cpuprofile F write a pprof CPU profile of the run to F
+//	-memprofile F write a pprof heap profile to F at exit
+//
+// Profiles are analyzed with `go tool pprof` (see docs/PERFORMANCE.md).
 //
 // Exit codes: 0 — fully clean run; 1 — the run completed but some work
 // failed or was skipped (per-app failure, cancellation, timeout; see the run
@@ -37,6 +41,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -78,6 +84,8 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	seq := fs.Bool("seq", false, "disable parallel work")
 	faultSpec := fs.String("faults", "", "fault-injection spec: pattern=kind[:prob],... (testing)")
 	faultSeed := fs.Uint64("fault-seed", 1, "seed for -faults firing decisions")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	fs.Usage = func() { usage(stderr, fs) }
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
@@ -120,6 +128,42 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 			return exitUsage
 		}
 		cfg.Faults = inj
+	}
+
+	// Profiling: both files are created up front so a bad path is a usage
+	// error before any work runs, not a surprise at exit. The CPU profile
+	// stops (and the heap profile is written) via defers, which run before
+	// main's os.Exit for every return path below — including cancelled and
+	// partially failed runs, whose profiles are exactly the interesting ones.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ispy: -cpuprofile: %v\n", err)
+			return exitUsage
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "ispy: -cpuprofile: %v\n", err)
+			f.Close()
+			return exitUsage
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ispy: -memprofile: %v\n", err)
+			return exitUsage
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "ispy: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	// The run context: SIGINT/SIGTERM and -timeout cancel it; the lab then

@@ -50,8 +50,8 @@ const (
 // are benign last-writer-wins rewrites of identical content).
 type Cache struct {
 	dir   string
-	evict func(kind string)    // eviction observer; set before use
-	inj   *faults.Injector     // fault injector (testing); set before use
+	evict func(kind string) // eviction observer; set before use
+	inj   *faults.Injector  // fault injector (testing); set before use
 }
 
 // OnEvict registers an observer called with the artifact kind whenever a

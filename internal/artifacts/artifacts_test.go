@@ -48,17 +48,25 @@ func TestKeyDeterminismAndSensitivity(t *testing.T) {
 	if k1.Hash() == k2.Hash() {
 		t.Error("boolean option flip did not change the key")
 	}
-	// The HW-prefetch mask folds deterministically (map iteration order must
-	// not leak into the hash).
+	// The HW-prefetch mask folds deterministically (the source map's
+	// iteration order must not leak through LineMask into the hash), and a
+	// nil mask keys differently from an empty one (they mean different
+	// things: unrestricted window vs everything gated off).
 	mk := func() *Key {
 		c := sim.Default()
-		c.HWPrefetchMask = map[isa.Addr]uint64{0x40: 3, 0x80: 7, 0xc0: 1}
+		c.HWPrefetchMask = sim.NewLineMask(map[isa.Addr]uint64{0x40: 3, 0x80: 7, 0xc0: 1})
 		return NewKey("hw", "a").SimConfig(c)
 	}
 	for i := 0; i < 20; i++ {
 		if mk().Hash() != mk().Hash() {
 			t.Fatal("mask fold nondeterministic")
 		}
+	}
+	nilMask := sim.Default()
+	emptyMask := sim.Default()
+	emptyMask.HWPrefetchMask = sim.NewLineMask(nil)
+	if NewKey("hw", "a").SimConfig(nilMask).Hash() == NewKey("hw", "a").SimConfig(emptyMask).Hash() {
+		t.Error("nil and empty HW-prefetch masks share a key")
 	}
 }
 

@@ -10,11 +10,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
 	"ispy/internal/core"
 	"ispy/internal/hashx"
-	"ispy/internal/isa"
 	"ispy/internal/sim"
 	"ispy/internal/workload"
 )
@@ -102,15 +100,17 @@ func (k *Key) SimConfig(c sim.Config) *Key {
 	k.Int(int64(c.Width)).Float(c.BackendCPI).Float(c.StallScale).Float(c.PrefetchLineCost)
 	k.Int(int64(c.HashBits)).Uint(c.MaxInstrs).Uint(c.WarmupInstrs).Bool(c.Ideal)
 	k.Int(int64(c.HWPrefetchWindow))
-	k.Uint(uint64(len(c.HWPrefetchMask)))
-	if len(c.HWPrefetchMask) > 0 {
-		addrs := make([]uint64, 0, len(c.HWPrefetchMask))
-		for a := range c.HWPrefetchMask {
-			addrs = append(addrs, uint64(a))
-		}
-		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-		for _, a := range addrs {
-			k.Uint(a).Uint(c.HWPrefetchMask[isa.Addr(a)])
+	if c.HWPrefetchMask == nil {
+		k.Uint(0)
+	} else {
+		// LineMask entries are already in ascending line order, so folding
+		// them in index order is deterministic. A nil mask (unrestricted
+		// window) and an empty mask (everything gated off) mean different
+		// things; distinguish them in the key material.
+		k.Uint(1).Uint(uint64(c.HWPrefetchMask.Len()))
+		for i := 0; i < c.HWPrefetchMask.Len(); i++ {
+			line, mask := c.HWPrefetchMask.Entry(i)
+			k.Uint(uint64(line)).Uint(mask)
 		}
 	}
 	return k

@@ -55,8 +55,9 @@ func BuildDefault(p *profile.Profile, opt core.Options) *core.Build {
 // only if L+i misses comparably often — at least a quarter as often as L
 // itself (the paper prefetches "only the missed cache lines in the 8-line
 // window"; rarely-missing neighbors are the Contiguous prefetcher's
-// pollution). window must be ≤ 64.
-func NonContiguousMask(p *profile.Profile, window int) map[isa.Addr]uint64 {
+// pollution). window must be ≤ 64. The result is the flat lookup structure
+// the simulator consults per miss (sim.LineMask), built once here.
+func NonContiguousMask(p *profile.Profile, window int) *sim.LineMask {
 	counts := make(map[isa.Addr]uint64, len(p.Graph.Sites))
 	for key, s := range p.Graph.Sites {
 		counts[profile.ResolveLine(p.Workload.Prog, key)] += s.Count
@@ -75,7 +76,7 @@ func NonContiguousMask(p *profile.Profile, window int) map[isa.Addr]uint64 {
 		}
 		mask[line] = m
 	}
-	return mask
+	return sim.NewLineMask(mask)
 }
 
 // RunConfig returns the simulator configuration an AsmDB binary runs under:

@@ -74,14 +74,18 @@ func TestBuildKeepsFanoutBelowThreshold(t *testing.T) {
 func TestNonContiguousMask(t *testing.T) {
 	p := prof(t)
 	mask := NonContiguousMask(p, 8)
-	if len(mask) == 0 {
+	if mask.Len() == 0 {
 		t.Fatal("no mask entries")
 	}
 	missed := map[isa.Addr]bool{}
 	for key := range p.Graph.Sites {
 		missed[profile.ResolveLine(p.Workload.Prog, key)] = true
 	}
-	for line, m := range mask {
+	for e := 0; e < mask.Len(); e++ {
+		line, m := mask.Entry(e)
+		if got := mask.Lookup(line); got != m {
+			t.Fatalf("Lookup(%#x) = %#x, Entry says %#x", line, got, m)
+		}
 		for i := 1; i <= 8; i++ {
 			bit := m&(1<<(i-1)) != 0
 			if bit != missed[line+isa.Addr(i)*64] {

@@ -52,10 +52,16 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// line is one cache way's state.
-type line struct {
-	tag        uint64
-	valid      bool
+// invalidTag marks an empty way in the tag array. Real tags are line
+// indexes (address >> log2(LineSize)), so ^0 — an address beyond 2^69 —
+// can never collide with one; using a sentinel lets the probe loop compare
+// tags with no separate valid-bit load.
+const invalidTag = ^uint64(0)
+
+// lineMeta is the non-tag state of one cache way. Tags live in a separate
+// dense array so an 8-way probe touches a single 64-byte CPU cache line;
+// this metadata is only loaded on a hit or during victim selection.
+type lineMeta struct {
 	ts         uint64 // replacement timestamp; larger = more recently useful
 	arrival    uint64 // cycle at which the data is present (0 = already)
 	prefetched bool   // inserted by a prefetch and not yet demand-touched
@@ -92,9 +98,20 @@ func (s *Stats) MissRate() float64 {
 
 // Cache is a single set-associative cache level with LRU replacement and
 // priority-aware insertion.
+//
+// Storage is split structure-of-arrays style: all tags live in one flat
+// uint64 array (set i occupies tags[i*ways : (i+1)*ways]) and the remaining
+// per-way state lives in a parallel lineMeta array. Set selection is a
+// power-of-two mask plus one multiply, and a full 8-way probe reads one
+// 64-byte CPU cache line of tags; timestamps, arrival times and prefetch
+// flags are only touched on a hit or during victim selection. The in-flight
+// arrival check (late-prefetch timing) is folded into the same probe that
+// finds the hit.
 type Cache struct {
 	cfg     Config
-	sets    [][]line
+	tags    []uint64   // nsets × ways, flat, set-major; invalidTag = empty
+	meta    []lineMeta // parallel to tags
+	ways    int
 	setMask uint64
 	clock   uint64
 	Stats   Stats
@@ -106,11 +123,16 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	nsets := cfg.Sets()
-	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: uint64(nsets - 1)}
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	n := cfg.Sets() * cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		tags:    make([]uint64, n),
+		meta:    make([]lineMeta, n),
+		ways:    cfg.Ways,
+		setMask: uint64(cfg.Sets() - 1),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	return c
 }
@@ -118,9 +140,11 @@ func New(cfg Config) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) indexOf(lineAddr isa.Addr) (set []line, tag uint64) {
+// indexOf returns the flat-array offset of lineAddr's set and the tag to
+// match within it.
+func (c *Cache) indexOf(lineAddr isa.Addr) (base int, tag uint64) {
 	idx := isa.LineIndex(lineAddr)
-	return c.sets[idx&c.setMask], idx
+	return int(idx&c.setMask) * c.ways, idx
 }
 
 // LookupResult describes the outcome of a demand lookup.
@@ -139,12 +163,12 @@ type LookupResult struct {
 // line to MRU and clears its prefetched flag (counting prefetch usefulness).
 func (c *Cache) Lookup(lineAddr isa.Addr, now uint64) LookupResult {
 	c.Stats.Accesses++
-	set, tag := c.indexOf(lineAddr)
-	for i := range set {
-		w := &set[i]
-		if !w.valid || w.tag != tag {
+	base, tag := c.indexOf(lineAddr)
+	for i, t := range c.tags[base : base+c.ways] {
+		if t != tag {
 			continue
 		}
+		w := &c.meta[base+i]
 		c.clock++
 		w.ts = c.clock
 		res := LookupResult{Hit: true}
@@ -167,9 +191,9 @@ func (c *Cache) Lookup(lineAddr isa.Addr, now uint64) LookupResult {
 // state or statistics (used by prefetch issue to detect redundant targets
 // and by tests).
 func (c *Cache) Contains(lineAddr isa.Addr) bool {
-	set, tag := c.indexOf(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base, tag := c.indexOf(lineAddr)
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == tag {
 			return true
 		}
 	}
@@ -193,36 +217,37 @@ func (c *Cache) Insert(lineAddr isa.Addr, now, arrival uint64, prefetch bool) (e
 // for the replacement-policy design choice inserts prefetches at MRU
 // (prefetched=true, halfPriority=false) to quantify what §III-B buys.
 func (c *Cache) InsertPrio(lineAddr isa.Addr, now, arrival uint64, prefetched, halfPriority bool) (evictedUnusedPrefetch bool) {
-	set, tag := c.indexOf(lineAddr)
+	base, tag := c.indexOf(lineAddr)
+	tags := c.tags[base : base+c.ways]
+	meta := c.meta[base : base+c.ways]
 	// Already resident: refresh arrival if the resident copy is in flight.
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
+	for i, t := range tags {
+		if t == tag {
 			if prefetched {
 				c.Stats.PrefetchRedundant++
 			}
-			if w.arrival > arrival {
-				w.arrival = arrival
+			if meta[i].arrival > arrival {
+				meta[i].arrival = arrival
 			}
 			return false
 		}
 	}
 	// Choose a victim: first invalid way, else smallest timestamp.
 	victim := -1
-	for i := range set {
-		if !set[i].valid {
+	for i, t := range tags {
+		if t == invalidTag {
 			victim = i
 			break
 		}
 	}
 	if victim == -1 {
 		victim = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].ts < set[victim].ts {
+		for i := 1; i < len(meta); i++ {
+			if meta[i].ts < meta[victim].ts {
 				victim = i
 			}
 		}
-		if set[victim].prefetched {
+		if meta[victim].prefetched {
 			c.Stats.PrefetchUseless++
 			evictedUnusedPrefetch = true
 		}
@@ -233,9 +258,9 @@ func (c *Cache) InsertPrio(lineAddr isa.Addr, now, arrival uint64, prefetched, h
 		// Half priority: place the line midway between the set's coldest
 		// resident line and MRU, so it outlives nothing hot.
 		oldest := c.clock
-		for i := range set {
-			if set[i].valid && set[i].ts < oldest {
-				oldest = set[i].ts
+		for i := range meta {
+			if tags[i] != invalidTag && meta[i].ts < oldest {
+				oldest = meta[i].ts
 			}
 		}
 		ts = oldest + (c.clock-oldest)/2
@@ -243,7 +268,8 @@ func (c *Cache) InsertPrio(lineAddr isa.Addr, now, arrival uint64, prefetched, h
 	if prefetched {
 		c.Stats.PrefetchInserts++
 	}
-	set[victim] = line{tag: tag, valid: true, ts: ts, arrival: arrival, prefetched: prefetched}
+	tags[victim] = tag
+	meta[victim] = lineMeta{ts: ts, arrival: arrival, prefetched: prefetched}
 	return evictedUnusedPrefetch
 }
 
@@ -251,23 +277,20 @@ func (c *Cache) InsertPrio(lineAddr isa.Addr, now, arrival uint64, prefetched, h
 // into PrefetchUseless. Call once at end of simulation so accuracy reflects
 // lines that were fetched but never needed.
 func (c *Cache) FlushUnusedPrefetchStats() {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			w := &c.sets[si][wi]
-			if w.valid && w.prefetched {
-				c.Stats.PrefetchUseless++
-				w.prefetched = false
-			}
+	for i := range c.meta {
+		w := &c.meta[i]
+		if c.tags[i] != invalidTag && w.prefetched {
+			c.Stats.PrefetchUseless++
+			w.prefetched = false
 		}
 	}
 }
 
 // Reset invalidates all lines and zeroes statistics.
 func (c *Cache) Reset() {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			c.sets[si][wi] = line{}
-		}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+		c.meta[i] = lineMeta{}
 	}
 	c.clock = 0
 	c.Stats = Stats{}

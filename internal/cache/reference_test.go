@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"testing"
+
+	"ispy/internal/isa"
+	"ispy/internal/rng"
+)
+
+// TestRefCacheEquivalence drives the production Cache and the preserved
+// reference RefCache with one random mixed stream of lookups, demand
+// fills, and prefetch fills (both priorities), requiring identical results
+// and identical statistics at every step. The sim-level golden tests pin
+// the same property end-to-end; this one localizes a divergence to the
+// cache layer.
+func TestRefCacheEquivalence(t *testing.T) {
+	cfg := Config{Name: "EQ", SizeBytes: 16 * isa.LineSize, Ways: 4, Latency: 3}
+	c := New(cfg)
+	r := NewRefCache(cfg)
+	rnd := rng.New(7)
+
+	// A small address pool (2× capacity) keeps sets contended so evictions,
+	// redundant inserts, and half-priority placement all exercise.
+	addrs := make([]isa.Addr, 2*cfg.Sets()*cfg.Ways)
+	for i := range addrs {
+		addrs[i] = isa.Addr(i) * isa.LineSize
+	}
+
+	for step := 0; step < 20000; step++ {
+		a := addrs[rnd.Uint64()%uint64(len(addrs))]
+		now := uint64(step)
+		switch rnd.Uint64() % 4 {
+		case 0:
+			got, want := c.Lookup(a, now), r.Lookup(a, now)
+			if got != want {
+				t.Fatalf("step %d: Lookup(%#x) = %+v, reference %+v", step, a, got, want)
+			}
+		case 1:
+			got, want := c.Insert(a, now, now, false), r.Insert(a, now, now, false)
+			if got != want {
+				t.Fatalf("step %d: Insert(%#x) = %v, reference %v", step, a, got, want)
+			}
+		case 2:
+			arr := now + 1 + rnd.Uint64()%40
+			got, want := c.Insert(a, now, arr, true), r.Insert(a, now, arr, true)
+			if got != want {
+				t.Fatalf("step %d: prefetch Insert(%#x) = %v, reference %v", step, a, got, want)
+			}
+		case 3:
+			// MRU-priority prefetch (the §III-B ablation path).
+			arr := now + 1 + rnd.Uint64()%40
+			got, want := c.InsertPrio(a, now, arr, true, false), r.InsertPrio(a, now, arr, true, false)
+			if got != want {
+				t.Fatalf("step %d: InsertPrio(%#x) = %v, reference %v", step, a, got, want)
+			}
+		}
+		if c.Contains(a) != r.Contains(a) {
+			t.Fatalf("step %d: Contains(%#x) diverged", step, a)
+		}
+		if c.Stats != r.Stats {
+			t.Fatalf("step %d: stats diverged:\n fast %+v\n  ref %+v", step, c.Stats, r.Stats)
+		}
+	}
+
+	c.FlushUnusedPrefetchStats()
+	r.FlushUnusedPrefetchStats()
+	if c.Stats != r.Stats {
+		t.Fatalf("after flush: stats diverged:\n fast %+v\n  ref %+v", c.Stats, r.Stats)
+	}
+	c.Reset()
+	r.Reset()
+	if c.Stats != r.Stats || c.Contains(addrs[0]) || r.Contains(addrs[0]) {
+		t.Fatal("reset left state behind")
+	}
+}

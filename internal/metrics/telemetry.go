@@ -126,7 +126,9 @@ func (t *Telemetry) Misses() uint64 { return t.total(func(s *kindStats) uint64 {
 func (t *Telemetry) Bypasses() uint64 { return t.total(func(s *kindStats) uint64 { return s.bypass }) }
 
 // Evictions returns the total corrupt-entry evictions across kinds.
-func (t *Telemetry) Evictions() uint64 { return t.total(func(s *kindStats) uint64 { return s.evicted }) }
+func (t *Telemetry) Evictions() uint64 {
+	return t.total(func(s *kindStats) uint64 { return s.evicted })
+}
 
 func (t *Telemetry) total(f func(*kindStats) uint64) uint64 {
 	if t == nil {

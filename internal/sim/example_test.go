@@ -1,0 +1,28 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+// ExampleRun simulates a short slice of the wordpress preset under the
+// paper's Table I configuration and prints two derived metrics. Everything
+// is seeded, so the output is stable across runs and platforms.
+func ExampleRun() {
+	w := workload.Preset("wordpress")
+	cfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	cfg.MaxInstrs = 200_000
+	cfg.WarmupInstrs = 50_000
+
+	st := sim.Run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+
+	fmt.Printf("retired %d workload instructions\n", st.BaseInstrs)
+	fmt.Printf("frontend-bound: %v\n", st.FrontendBoundFrac() > 0.2)
+	fmt.Printf("misses observed: %v\n", st.L1IMisses > 0)
+	// Output:
+	// retired 200002 workload instructions
+	// frontend-bound: true
+	// misses observed: true
+}

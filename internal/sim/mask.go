@@ -1,0 +1,69 @@
+// LineMask: the compact lookup structure behind the Non-contiguous-N
+// hardware prefetcher's gating masks (§II-D). The simulator consults the
+// mask on every demand L1I miss, which makes it hot-path state; a Go map
+// there costs a hash + bucket probe per miss. LineMask is built once per
+// run from the profile-derived map and then read with a branch-free-ish
+// binary search over two parallel flat slices, which is both faster and
+// allocation-free at lookup time.
+package sim
+
+import (
+	"sort"
+
+	"ispy/internal/isa"
+)
+
+// LineMask is an immutable line-address → window-bitmask table. Bit i−1 of
+// the mask for line L gates the hardware prefetch of line L+i. A nil
+// *LineMask means "no gating" (the whole window prefetches); a non-nil but
+// empty LineMask gates everything off, matching the semantics the map-based
+// representation had (missing key → zero mask).
+type LineMask struct {
+	lines []isa.Addr // sorted ascending, unique
+	masks []uint64   // masks[i] belongs to lines[i]
+}
+
+// NewLineMask builds a LineMask from a line→mask map. The map is not
+// retained. A nil or empty map yields a non-nil, empty LineMask (every
+// lookup returns 0).
+func NewLineMask(m map[isa.Addr]uint64) *LineMask {
+	lm := &LineMask{
+		lines: make([]isa.Addr, 0, len(m)),
+		masks: make([]uint64, 0, len(m)),
+	}
+	for a := range m {
+		lm.lines = append(lm.lines, a)
+	}
+	sort.Slice(lm.lines, func(i, j int) bool { return lm.lines[i] < lm.lines[j] })
+	for _, a := range lm.lines {
+		lm.masks = append(lm.masks, m[a])
+	}
+	return lm
+}
+
+// Lookup returns the window mask for line, or 0 when the line has no entry.
+func (lm *LineMask) Lookup(line isa.Addr) uint64 {
+	lo, hi := 0, len(lm.lines)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lm.lines[mid] < line {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(lm.lines) && lm.lines[lo] == line {
+		return lm.masks[lo]
+	}
+	return 0
+}
+
+// Len returns the number of entries.
+func (lm *LineMask) Len() int { return len(lm.lines) }
+
+// Entry returns the i-th entry in ascending line order. It panics if i is
+// out of range. Artifact-cache keys fold entries in this order, so the key
+// material is deterministic without re-sorting.
+func (lm *LineMask) Entry(i int) (line isa.Addr, mask uint64) {
+	return lm.lines[i], lm.masks[i]
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"ispy/internal/isa"
+)
+
+func TestLineMaskMatchesMap(t *testing.T) {
+	src := map[isa.Addr]uint64{}
+	for i := 0; i < 500; i++ {
+		// Non-uniform spacing so the binary search sees gaps of many sizes.
+		src[isa.Addr(0x400000+i*i*isa.LineSize)] = uint64(i)*0x9e3779b9 + 1
+	}
+	lm := NewLineMask(src)
+	if lm.Len() != len(src) {
+		t.Fatalf("Len = %d, want %d", lm.Len(), len(src))
+	}
+	for a, want := range src {
+		if got := lm.Lookup(a); got != want {
+			t.Errorf("Lookup(%#x) = %#x, want %#x", a, got, want)
+		}
+		// Neighbors that are not keys must return 0, like a map miss.
+		for _, probe := range []isa.Addr{a - isa.LineSize, a + isa.LineSize} {
+			if _, ok := src[probe]; !ok {
+				if got := lm.Lookup(probe); got != 0 {
+					t.Errorf("Lookup(%#x) = %#x, want 0 (absent)", probe, got)
+				}
+			}
+		}
+	}
+	// Entries come back sorted and complete.
+	var prev isa.Addr
+	for i := 0; i < lm.Len(); i++ {
+		line, mask := lm.Entry(i)
+		if i > 0 && line <= prev {
+			t.Fatalf("Entry(%d) = %#x not ascending after %#x", i, line, prev)
+		}
+		prev = line
+		if src[line] != mask {
+			t.Errorf("Entry(%d) mask %#x, want %#x", i, mask, src[line])
+		}
+	}
+}
+
+func TestLineMaskEmpty(t *testing.T) {
+	for _, lm := range []*LineMask{NewLineMask(nil), NewLineMask(map[isa.Addr]uint64{})} {
+		if lm == nil {
+			t.Fatal("NewLineMask returned nil")
+		}
+		if lm.Len() != 0 {
+			t.Errorf("empty mask Len = %d", lm.Len())
+		}
+		if got := lm.Lookup(0x400000); got != 0 {
+			t.Errorf("empty mask Lookup = %#x, want 0", got)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Fetch plans: the per-basic-block precomputation behind the simulator's
+// fast path. Everything about a block that does not depend on dynamic state
+// is a pure function of the laid-out program and the run configuration —
+// the static line span its bytes cover, the payload lines of each injected
+// prefetch (coalesced bit-vector already expanded), and the issue/backend
+// cycle charges for its workload instructions. The reference kernel
+// recomputes all of it on every dynamic execution of the block; the fast
+// kernel computes it once per run here, so the per-block loop touches no
+// maps, walks no instruction lists, and performs no per-instruction
+// arithmetic. DESIGN.md §9 states the invariants this precomputation must
+// preserve.
+package sim
+
+import "ispy/internal/isa"
+
+// prefetchPlan is the precomputed execution form of one injected prefetch
+// instruction: the conditional gate and the fully expanded payload lines.
+type prefetchPlan struct {
+	// conditional marks Cprefetch/CLprefetch kinds: the prefetch fires only
+	// when ctxHash passes the LBR's Bloom subset test.
+	conditional bool
+	// ctxHash is the context-hash immediate of conditional kinds.
+	ctxHash uint64
+	// lines is the payload: the base target line plus the coalescing
+	// bit-vector expansion, in the exact order Instr.CoalescedLines emits.
+	lines []isa.Addr
+	// ctxAddrs is the false-positive oracle (see isa.Instr.CtxAddrs).
+	ctxAddrs []isa.Addr
+}
+
+// blockPlan is the precomputed fetch plan for one static basic block.
+type blockPlan struct {
+	// addr is the block's start address (the LBR push record).
+	addr isa.Addr
+	// firstLine is the first cache line the block's bytes overlap; the block
+	// covers nLines consecutive lines starting there.
+	firstLine isa.Addr
+	nLines    int32
+	// nInstrs is the block's instruction count; nBase excludes injected
+	// prefetches (the workload-instruction count that drives the budget).
+	nInstrs uint32
+	nBase   uint32
+	// issue and backend are the per-execution cycle charges for the block's
+	// workload instructions, precomputed with the exact arithmetic the
+	// reference kernel performs per execution (nBase/Width and
+	// nBase*BackendCPI), so accumulated cycle counts stay bit-identical.
+	issue   float64
+	backend float64
+	// prefetch lists the block's prefetch instructions in program order.
+	prefetch []prefetchPlan
+}
+
+// buildPlans precomputes the fetch plan of every block in prog under cfg.
+// cfg must already have its defaults applied (Width and BackendCPI set).
+func buildPlans(prog *isa.Program, cfg *Config) []blockPlan {
+	plans := make([]blockPlan, len(prog.Blocks))
+	width := float64(cfg.Width)
+	for i := range prog.Blocks {
+		b := &prog.Blocks[i]
+		p := &plans[i]
+		p.addr = b.Addr
+		p.firstLine = b.FirstLine()
+		p.nLines = int32(b.Lines())
+		n := len(b.Instrs)
+		np := 0
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if !in.Kind.IsPrefetch() {
+				continue
+			}
+			np++
+			p.prefetch = append(p.prefetch, prefetchPlan{
+				conditional: in.Kind.IsConditional(),
+				ctxHash:     in.CtxHash,
+				lines:       in.CoalescedLines(nil),
+				ctxAddrs:    in.CtxAddrs,
+			})
+		}
+		p.nInstrs = uint32(n)
+		p.nBase = uint32(n - np)
+		p.issue = float64(n-np) / width
+		p.backend = float64(n-np) * cfg.BackendCPI
+	}
+	return plans
+}

@@ -44,6 +44,19 @@ type TakenReporter interface {
 	LastWasTaken() bool
 }
 
+// BatchSource is an optional BlockSource extension that devirtualizes the
+// hot loop: the simulator pulls blocks in batches, paying one interface
+// dispatch per batch instead of two (Next + LastWasTaken) per block.
+// workload.Executor implements it; the batch must be exactly the sequence
+// repeated Next/LastWasTaken calls would have produced.
+type BatchSource interface {
+	BlockSource
+	// NextN fills ids and taken (which have equal length) with the next
+	// blocks of the stream and how control reached each, returning the
+	// count filled. It must fill the full slice (the stream is unbounded).
+	NextN(ids []int32, taken []bool) int
+}
+
 // Config parameterizes one simulation run.
 type Config struct {
 	// Hier is the cache hierarchy (defaults to Table I).
@@ -82,11 +95,13 @@ type Config struct {
 	// HWPrefetchMask restricts the window prefetcher to profiled miss
 	// lines: bit i−1 of the mask for line L gates the prefetch of L+i
 	// (the paper's Non-contiguous-8). Nil prefetches the whole window.
-	HWPrefetchMask map[isa.Addr]uint64
+	// Build one from a map with NewLineMask; it is consulted on every
+	// demand L1I miss, so it is a flat sorted table rather than a map.
+	HWPrefetchMask *LineMask
 }
 
 // Default returns the evaluation configuration: Table I hierarchy, 4-wide
-// issue, 16-bit hash, 0.5 stall scale, 1.5 M measured instructions after
+// issue, 16-bit hash, 0.75 stall scale, 1.5 M measured instructions after
 // 300 k warmup.
 func Default() Config {
 	return Config{
@@ -247,6 +262,11 @@ type Hooks struct {
 
 // Run executes the program's dynamic stream from src under cfg and returns
 // the statistics. prog must be laid out (Program.Layout).
+//
+// Run is the fast-path kernel: it precomputes per-block fetch plans (see
+// plan.go) and pulls blocks in batches when src implements BatchSource. It
+// is pinned to produce bit-identical statistics to RunReference; the golden
+// equivalence tests enforce that on every app preset.
 func Run(prog *isa.Program, src BlockSource, cfg Config, hooks *Hooks) *Stats {
 	cfg.setDefaults()
 	m := newMachine(prog, cfg, hooks)
@@ -259,6 +279,11 @@ func Run(prog *isa.Program, src BlockSource, cfg Config, hooks *Hooks) *Stats {
 	return &m.stats
 }
 
+// batchBlocks is the number of blocks pulled per BatchSource.NextN call.
+// Big enough to amortize the interface dispatch to nothing, small enough
+// that the id/taken buffers stay in L1.
+const batchBlocks = 256
+
 // machine is the mutable simulation state; exported entry points wrap it.
 type machine struct {
 	prog  *isa.Program
@@ -267,6 +292,7 @@ type machine struct {
 	hier  *cache.Hierarchy
 	lbr   *lbr.LBR
 	stats Stats
+	plans []blockPlan
 
 	cycleF     float64 // running cycle count (fractional issue costs)
 	totalInstr uint64  // monotonic retired-instruction counter (never reset)
@@ -275,8 +301,16 @@ type machine struct {
 	backendF   float64
 	stallF     float64
 	fullStallF float64
-	lineBuf    []isa.Addr
 	measured   bool
+
+	// Batch state persists across run calls so blocks pulled into a batch
+	// during warmup but not yet executed carry over into the measured
+	// region instead of being dropped (which would shift the stream
+	// relative to the reference kernel).
+	batchIDs   []int32
+	batchTaken []bool
+	batchPos   int
+	batchLen   int
 }
 
 func newMachine(prog *isa.Program, cfg Config, hooks *Hooks) *machine {
@@ -285,6 +319,7 @@ func newMachine(prog *isa.Program, cfg Config, hooks *Hooks) *machine {
 		cfg:      cfg,
 		hier:     cache.NewHierarchy(cfg.Hier),
 		lbr:      lbr.New(cfg.HashBits),
+		plans:    buildPlans(prog, &cfg),
 		measured: cfg.WarmupInstrs == 0,
 	}
 	if hooks != nil {
@@ -307,28 +342,58 @@ func (m *machine) now() uint64 { return uint64(m.cycleF) }
 
 // run executes blocks until baseBudget workload instructions retire.
 func (m *machine) run(src BlockSource, baseBudget uint64) {
-	tr, hasTaken := src.(TakenReporter)
 	target := m.stats.BaseInstrs + baseBudget
+	if bs, ok := src.(BatchSource); ok {
+		m.runBatched(bs, target)
+		return
+	}
+	tr, hasTaken := src.(TakenReporter)
 	for m.stats.BaseInstrs < target {
 		bid := src.Next()
 		m.execBlock(bid, !hasTaken || tr.LastWasTaken())
 	}
 }
 
+// runBatched is the devirtualized hot loop: one NextN call per batch, then
+// a tight loop over plain slices. Leftover batch entries survive in the
+// machine across the warmup/measure boundary.
+func (m *machine) runBatched(bs BatchSource, target uint64) {
+	if m.batchIDs == nil {
+		m.batchIDs = make([]int32, batchBlocks)
+		m.batchTaken = make([]bool, batchBlocks)
+	}
+	for m.stats.BaseInstrs < target {
+		if m.batchPos == m.batchLen {
+			m.batchLen = bs.NextN(m.batchIDs, m.batchTaken)
+			m.batchPos = 0
+			if m.batchLen == 0 {
+				// A conforming source never does this (the stream is
+				// unbounded); stop rather than spin.
+				return
+			}
+		}
+		for m.batchPos < m.batchLen && m.stats.BaseInstrs < target {
+			i := m.batchPos
+			m.batchPos++
+			m.execBlock(int(m.batchIDs[i]), m.batchTaken[i])
+		}
+	}
+}
+
 func (m *machine) execBlock(bid int, taken bool) {
-	blk := &m.prog.Blocks[bid]
+	p := &m.plans[bid]
 	m.stats.Blocks++
 	if taken {
-		m.lbr.Push(int32(bid), blk.Addr, m.now(), m.totalInstr)
+		m.lbr.Push(int32(bid), p.addr, m.now(), m.totalInstr)
 	}
 	if m.hooks.OnBlock != nil && m.measured {
 		m.hooks.OnBlock(bid, m.now(), m.lbr)
 	}
 
-	// Demand-fetch the block's instruction lines.
+	// Demand-fetch the block's instruction lines (span precomputed).
 	if !m.cfg.Ideal {
-		last := blk.LastLine()
-		for line := blk.FirstLine(); line <= last; line += isa.LineSize {
+		line := p.firstLine
+		for k := int32(0); k < p.nLines; k++ {
 			r := m.hier.FetchI(line, m.now())
 			m.stats.LineFetches++
 			if r.Miss {
@@ -338,7 +403,7 @@ func (m *machine) execBlock(bid int, taken bool) {
 				m.cycleF += scaled
 				m.stallF += scaled
 				if m.hooks.OnMiss != nil && m.measured {
-					m.hooks.OnMiss(bid, int32(int64(line)-int64(blk.Addr)), m.now(), m.lbr)
+					m.hooks.OnMiss(bid, int32(int64(line)-int64(p.addr)), m.now(), m.lbr)
 				}
 				if m.cfg.HWPrefetchWindow > 0 {
 					m.hwPrefetch(line)
@@ -351,54 +416,45 @@ func (m *machine) execBlock(bid int, taken bool) {
 				m.cycleF += scaled
 				m.stallF += scaled
 			}
+			line += isa.LineSize
 		}
 	} else {
-		m.stats.LineFetches += uint64(blk.Lines())
+		m.stats.LineFetches += uint64(p.nLines)
 	}
 
-	// Execute instructions: prefetches act on the hierarchy; everything
-	// else is charged in aggregate below.
-	nInstrs := len(blk.Instrs)
-	nPrefetch := 0
-	for i := range blk.Instrs {
-		in := &blk.Instrs[i]
-		if !in.Kind.IsPrefetch() {
-			continue
-		}
-		nPrefetch++
-		m.execPrefetch(in)
+	// Execute the block's prefetch instructions (payloads pre-expanded);
+	// ordinary instructions are charged in aggregate below.
+	for i := range p.prefetch {
+		m.execPrefetch(&p.prefetch[i])
 	}
 
-	m.stats.Instrs += uint64(nInstrs)
-	m.totalInstr += uint64(nInstrs)
-	m.stats.BaseInstrs += uint64(nInstrs - nPrefetch)
-	m.stats.DynPrefetchInstrs += uint64(nPrefetch)
+	m.stats.Instrs += uint64(p.nInstrs)
+	m.totalInstr += uint64(p.nInstrs)
+	m.stats.BaseInstrs += uint64(p.nBase)
+	m.stats.DynPrefetchInstrs += uint64(p.nInstrs - p.nBase)
 
 	// Prefetch instructions issue in the spare slots a frontend-bound
 	// 4-wide pipeline has by definition (Fig. 1); their performance cost is
 	// modeled where the paper locates it — fetch footprint and cache
 	// effects — not in issue bandwidth.
-	issue := float64(nInstrs-nPrefetch) / float64(m.cfg.Width)
-	backend := float64(nInstrs-nPrefetch) * m.cfg.BackendCPI
-	m.cycleF += issue + backend
-	m.issueF += issue
-	m.backendF += backend
+	m.cycleF += p.issue + p.backend
+	m.issueF += p.issue
+	m.backendF += p.backend
 }
 
-func (m *machine) execPrefetch(in *isa.Instr) {
-	if in.Kind.IsConditional() {
+func (m *machine) execPrefetch(pp *prefetchPlan) {
+	if pp.conditional {
 		m.stats.CondExecuted++
-		if !m.lbr.Match(in.CtxHash) {
+		if !m.lbr.Match(pp.ctxHash) {
 			m.stats.CondSuppressed++
 			return
 		}
 		m.stats.CondFired++
-		if len(in.CtxAddrs) > 0 && !m.lbr.ContainsAll(in.CtxAddrs) {
+		if len(pp.ctxAddrs) > 0 && !m.lbr.ContainsAll(pp.ctxAddrs) {
 			m.stats.CondFalseFires++
 		}
 	}
-	m.lineBuf = in.CoalescedLines(m.lineBuf[:0])
-	for _, line := range m.lineBuf {
+	for _, line := range pp.lines {
 		r := m.hier.PrefetchI(line, m.now())
 		m.stats.PrefetchLinesIssued++
 		if !r.Resident {
@@ -413,7 +469,7 @@ func (m *machine) execPrefetch(in *isa.Instr) {
 func (m *machine) hwPrefetch(line isa.Addr) {
 	var mask uint64 = ^uint64(0)
 	if m.cfg.HWPrefetchMask != nil {
-		mask = m.cfg.HWPrefetchMask[line]
+		mask = m.cfg.HWPrefetchMask.Lookup(line)
 	}
 	for i := 1; i <= m.cfg.HWPrefetchWindow; i++ {
 		if mask&(1<<(i-1)) == 0 {

@@ -246,7 +246,7 @@ func TestHWMaskRestrictsWindow(t *testing.T) {
 	cfg := smallCfg()
 	cfg.MaxInstrs = 50_000
 	cfg.HWPrefetchWindow = 8
-	cfg.HWPrefetchMask = map[isa.Addr]uint64{} // all-zero masks: nothing allowed
+	cfg.HWPrefetchMask = NewLineMask(nil) // empty mask: nothing allowed
 	st := Run(prog, &seqSource{seq: seq}, cfg, nil)
 	if st.PrefetchLinesIssued != 0 {
 		t.Errorf("empty mask still issued %d prefetches", st.PrefetchLinesIssued)

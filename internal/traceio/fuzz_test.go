@@ -121,10 +121,10 @@ func TestDecodeHugeCountHeaders(t *testing.T) {
 	e.uvarint(1)
 	e.str("i")
 	e.uvarint(2)
-	e.uvarint(0)  // misses
-	e.float(0)    // density
-	e.uvarint(0)  // cycles
-	e.uvarint(0)  // instrs
+	e.uvarint(0)       // misses
+	e.float(0)         // density
+	e.uvarint(0)       // cycles
+	e.uvarint(0)       // instrs
 	e.uvarint(1 << 24) // block count with no backing data
 	if err := e.flush(); err != nil {
 		t.Fatal(err)

@@ -121,6 +121,35 @@ func (e *Executor) ReqType() int { return int(e.reqType) }
 func (e *Executor) Next() int {
 	id := e.cur
 	e.lastTaken = e.takenInto
+	e.advance()
+	return int(id)
+}
+
+// NextN fills ids and taken with the next min(len(ids), len(taken)) blocks
+// of the stream — taken[i] reports how control reached ids[i] — and returns
+// the count filled. It is exactly equivalent to that many Next calls (with
+// LastWasTaken after each) but costs one call: the simulator's batched hot
+// loop (sim.BatchSource) uses it to amortize interface dispatch.
+func (e *Executor) NextN(ids []int32, taken []bool) int {
+	n := len(ids)
+	if len(taken) < n {
+		n = len(taken)
+	}
+	for i := 0; i < n; i++ {
+		ids[i] = e.cur
+		taken[i] = e.takenInto
+		e.advance()
+	}
+	if n > 0 {
+		e.lastTaken = taken[n-1]
+	}
+	return n
+}
+
+// advance moves the machine past the current block, choosing the successor
+// and recording whether the edge into it is a taken control transfer.
+func (e *Executor) advance() {
+	id := e.cur
 	f := &e.w.Flow[id]
 	switch f.Kind {
 	case FlowFall:
@@ -177,7 +206,6 @@ func (e *Executor) Next() int {
 	default:
 		panic(fmt.Sprintf("workload: block %d has invalid flow kind %d", id, f.Kind))
 	}
-	return int(id)
 }
 
 // LastWasTaken reports whether the block most recently returned by Next was

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Reproducible perf baseline: run the headline benchmarks and emit a
+# machine-readable BENCH_*.json at the repo root, so every PR leaves a
+# benchmark trajectory future PRs can compare against. Methodology, schema,
+# and the profiling workflow are documented in docs/PERFORMANCE.md.
+#
+# usage: scripts/bench.sh [-o FILE] [-benchtime T] [-count N] [-quick]
+#   -o FILE       output JSON path             (default: BENCH_PR3.json)
+#   -benchtime T  go test -benchtime argument  (default: 20x)
+#   -count N      go test -count argument      (default: 3; benchjson
+#                 averages the repetitions, damping machine noise)
+#   -quick        smoke mode: one throughput app + the reference kernel,
+#                 -benchtime 1x -count 1 (used by the `make benchsmoke`
+#                 CI gate)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_PR3.json"
+benchtime="20x"
+count="3"
+pattern='BenchmarkSimulatorThroughput|BenchmarkSimulatorReference|BenchmarkAnalysisPipeline'
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -o) out="$2"; shift 2 ;;
+    -benchtime) benchtime="$2"; shift 2 ;;
+    -count) count="$2"; shift 2 ;;
+    -quick)
+        benchtime="1x"
+        count="1"
+        pattern='BenchmarkSimulatorThroughput/wordpress$|BenchmarkSimulatorReference'
+        shift ;;
+    *) echo "usage: scripts/bench.sh [-o FILE] [-benchtime T] [-count N] [-quick]" >&2; exit 2 ;;
+    esac
+done
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# -run=NONE: benchmarks only. The raw text still streams to the terminal;
+# the tee'd copy feeds the JSON converter.
+go test -run=NONE -bench "$pattern" -benchmem \
+    -benchtime "$benchtime" -count "$count" . | tee "$tmp"
+go run ./scripts/benchjson -pr PR3 -o "$out" <"$tmp"
+echo "wrote $out"

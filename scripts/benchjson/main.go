@@ -1,0 +1,166 @@
+// benchjson converts `go test -bench` text output (read from stdin) into
+// the machine-readable BENCH_*.json format scripts/bench.sh emits at the
+// repo root. See docs/PERFORMANCE.md for the file's schema and how to read
+// it.
+//
+// Usage: go test -bench ... | go run ./scripts/benchjson -pr PR3 -o BENCH_PR3.json
+//
+// Benchmark lines have the shape
+//
+//	BenchmarkName/sub-8   3   27948047 ns/op   76221482 instrs/s   12 B/op   4 allocs/op
+//
+// i.e. a name (with -GOMAXPROCS suffix), an iteration count, then
+// value/unit pairs. ns/op, B/op and allocs/op get dedicated fields; every
+// other unit (custom b.ReportMetric metrics such as instrs/s) lands in the
+// metrics map. When both the wordpress fast-path throughput and the
+// reference-kernel throughput are present, the derived fastpath_speedup
+// ratio is recorded at the top level — that is the number the PR's
+// acceptance criterion tracks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the emitted JSON document.
+type File struct {
+	PR              string      `json:"pr"`
+	GoVersion       string      `json:"go_version"`
+	GOOS            string      `json:"goos"`
+	GOARCH          string      `json:"goarch"`
+	CPU             string      `json:"cpu,omitempty"`
+	FastpathSpeedup float64     `json:"fastpath_speedup,omitempty"`
+	Benchmarks      []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	pr := flag.String("pr", "PR", "PR label recorded in the file")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	f := File{
+		PR:        *pr,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			f.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if ok {
+			f.Benchmarks = append(f.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	fast := metric(f.Benchmarks, "SimulatorThroughput/wordpress", "instrs/s")
+	ref := metric(f.Benchmarks, "SimulatorReference", "instrs/s")
+	if fast > 0 && ref > 0 {
+		f.FastpathSpeedup = fast / ref
+	}
+
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one "Benchmark... N val unit [val unit]..." line;
+// ok is false for any line that is not a benchmark result.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, b.NsPerOp > 0
+}
+
+// metric returns the named custom metric averaged over every benchmark
+// whose name contains sub (go test -count N emits one line per repetition;
+// averaging them damps machine noise), or 0 when absent.
+func metric(bs []Benchmark, sub, unit string) float64 {
+	var sum float64
+	var n int
+	for _, b := range bs {
+		if strings.Contains(b.Name, sub) && b.Metrics[unit] > 0 {
+			sum += b.Metrics[unit]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

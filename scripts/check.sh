@@ -1,11 +1,18 @@
 #!/bin/sh
-# The repository gate: vet, build, race-enabled tests, a short fuzz pass
-# over the trace decoders, and a CLI-level fault-injection smoke. `make
-# check` runs the same steps; this script exists for environments without
-# make.
+# The repository gate: gofmt, vet, build, race-enabled tests, a short fuzz
+# pass over the trace decoders, a CLI-level fault-injection smoke, and the
+# bench-script JSON smoke. `make check` runs the same steps; this script
+# exists for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt -l flagged:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
@@ -24,4 +31,6 @@ if [ "$rc" -ne 1 ]; then
     echo "fault-injection smoke: exit code $rc, want 1" >&2
     exit 1
 fi
+echo "== bench-script smoke (must emit parseable JSON)"
+ISPY_BENCH_SMOKE=1 go test -run TestBenchScriptEmitsJSON .
 echo "== all checks passed"
