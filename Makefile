@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race fuzz faultsmoke benchsmoke benchall bench
+.PHONY: check fmtcheck vet ispyvet vet-waivers build test race fuzz faultsmoke benchsmoke benchall bench
 
 # The full gate: what CI (and every PR) must pass.
-check: fmtcheck vet build race fuzz faultsmoke benchsmoke
+check: fmtcheck vet ispyvet build race fuzz faultsmoke benchsmoke
 
 # gofmt enforcement: fails listing any file that needs formatting.
 fmtcheck:
@@ -13,6 +13,14 @@ fmtcheck:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own determinism & invariant analyzer (see DESIGN.md §10).
+ispyvet:
+	$(GO) run ./cmd/ispy-vet ./...
+
+# List every //ispy: waiver in effect, for periodic review.
+vet-waivers:
+	$(GO) run ./cmd/ispy-vet -waivers ./...
 
 build:
 	$(GO) build ./...

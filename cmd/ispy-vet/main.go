@@ -1,0 +1,79 @@
+// ispy-vet runs the repository's determinism & invariant analyzer
+// (internal/vetting) over the module and prints findings in the canonical
+// `file:line: pass: message` form. It is part of the gate (`make check`,
+// scripts/check.sh, CI): any finding is a non-zero exit.
+//
+// Usage:
+//
+//	ispy-vet [-waivers] [./...]
+//
+// The package pattern is accepted for familiarity but the analyzer always
+// vets the whole module containing the working directory — the passes are
+// module-global (stats exhaustiveness needs every reader, freeze rules
+// name specific packages), so partial loads would under-report.
+//
+// -waivers lists every //ispy: waiver in effect instead of vetting, for
+// periodic review (`make vet-waivers`).
+//
+// Exit codes: 0 clean, 1 findings, 2 load/usage failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ispy/internal/vetting"
+)
+
+func main() {
+	listWaivers := flag.Bool("waivers", false, "list waivered sites instead of vetting")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ispy-vet [-waivers] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "ispy-vet: unsupported pattern %q (the module is always vetted whole)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modRoot, err := vetting.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := vetting.NewLoader()
+	pkgs, err := loader.LoadModule(modRoot)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := vetting.Run(pkgs, vetting.DefaultConfig())
+
+	if *listWaivers {
+		for _, w := range res.Waivers {
+			fmt.Printf("%s:%d: //ispy:%s %s\n", w.Pos.Filename, w.Pos.Line, w.Directive, w.Reason)
+		}
+		fmt.Printf("ispy-vet: %d waiver(s) in effect\n", len(res.Waivers))
+		return
+	}
+
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	fmt.Fprintf(os.Stderr, "ispy-vet: %d issue(s), %d waiver(s) in effect\n", len(res.Diags), len(res.Waivers))
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ispy-vet: %v\n", err)
+	os.Exit(2)
+}

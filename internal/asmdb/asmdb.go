@@ -15,6 +15,8 @@
 package asmdb
 
 import (
+	"sort"
+
 	"ispy/internal/core"
 	"ispy/internal/isa"
 	"ispy/internal/profile"
@@ -59,11 +61,17 @@ func BuildDefault(p *profile.Profile, opt core.Options) *core.Build {
 // the simulator consults per miss (sim.LineMask), built once here.
 func NonContiguousMask(p *profile.Profile, window int) *sim.LineMask {
 	counts := make(map[isa.Addr]uint64, len(p.Graph.Sites))
-	for key, s := range p.Graph.Sites {
-		counts[profile.ResolveLine(p.Workload.Prog, key)] += s.Count
+	for _, s := range p.Graph.SortedSites() {
+		counts[profile.ResolveLine(p.Workload.Prog, s.Key)] += s.Count
 	}
+	lines := make([]isa.Addr, 0, len(counts))
+	for line := range counts {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	mask := make(map[isa.Addr]uint64, len(counts))
-	for line, c := range counts {
+	for _, line := range lines {
+		c := counts[line]
 		floor := c / 4
 		if floor == 0 {
 			floor = 1

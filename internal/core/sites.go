@@ -93,6 +93,7 @@ func selectSite(g *cfg.Graph, ms *cfg.MissSite, opt Options) (SiteChoice, bool) 
 	cands := make([]*candidate, 0, len(votes))
 	fan := make(map[int32]float64, len(votes))
 	maxVotes := 0
+	//ispy:ordered fanout is pure and cands gets a total order (ending in block ID) from the sort below
 	for _, c := range votes {
 		cov := float64(c.votes) / float64(len(ms.Samples))
 		if cov < opt.MinSiteCoverage {

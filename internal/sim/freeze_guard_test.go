@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden oracle is only as trustworthy as its immutability: the
+// reference kernels were frozen when the fast path split off, and every
+// golden-equivalence result since implicitly cites that frozen text. The
+// static freeze pass (ispy-vet) stops the kernels from *referencing*
+// fast-path code; this guard stops them from *changing* unnoticed at all.
+var frozenKernels = map[string]string{
+	"reference.go":          "55e4622fb35e582b5ae9b41b2e396c9de7f7aec293d47971a569c1c51c4c62a9",
+	"../cache/reference.go": "0d1e775f93c2b529676246901fb793f2252f5fa4f6cb8e72d1bad0d03174ddda",
+}
+
+func TestReferenceKernelsUnchanged(t *testing.T) {
+	for rel, want := range frozenKernels {
+		data, err := os.ReadFile(filepath.FromSlash(rel))
+		if err != nil {
+			t.Fatalf("reading frozen kernel %s: %v", rel, err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("%s has changed (sha256 %s, pinned %s).\n"+
+				"This file is the golden oracle: the fast-path simulator is only correct "+
+				"relative to it. If you meant to update the golden oracle deliberately, "+
+				"re-run the golden-equivalence suite, justify the change in the commit "+
+				"message, and update the pinned hash here. If you did not mean to touch "+
+				"it, revert.", rel, got, want)
+		}
+	}
+}

@@ -67,3 +67,18 @@ func (lm *LineMask) Len() int { return len(lm.lines) }
 func (lm *LineMask) Entry(i int) (line isa.Addr, mask uint64) {
 	return lm.lines[i], lm.masks[i]
 }
+
+// AsMap returns the mask in its seed-era map form (nil for a nil mask).
+// The reference kernel consults this single adapter instead of iterating
+// the SoA entries itself, keeping its coupling to the fast-path
+// representation down to one waived call.
+func (lm *LineMask) AsMap() map[isa.Addr]uint64 {
+	if lm == nil {
+		return nil
+	}
+	out := make(map[isa.Addr]uint64, len(lm.lines))
+	for i, line := range lm.lines {
+		out[line] = lm.masks[i]
+	}
+	return out
+}

@@ -68,13 +68,8 @@ func newRefMachine(prog *isa.Program, cfg Config, hooks *Hooks) *refMachine {
 	}
 	// The original kernel consulted the window mask as a map per missed
 	// line; rebuild that form so the hot path pays the same lookup.
-	if cfg.HWPrefetchMask != nil {
-		m.hwMask = make(map[isa.Addr]uint64, cfg.HWPrefetchMask.Len())
-		for i := 0; i < cfg.HWPrefetchMask.Len(); i++ {
-			line, bits := cfg.HWPrefetchMask.Entry(i)
-			m.hwMask[line] = bits
-		}
-	}
+	//ispy:xref AsMap is the one sanctioned adapter from the fast-path mask representation
+	m.hwMask = cfg.HWPrefetchMask.AsMap()
 	if hooks != nil {
 		m.hooks = *hooks
 	}

@@ -484,6 +484,7 @@ func ReadStats(r io.Reader) (*sim.Stats, error) {
 
 func sortedKeys(m map[int32]uint64) []int32 {
 	out := make([]int32, 0, len(m))
+	//ispy:ordered keys are totally ordered by the insertion sort below
 	for k := range m {
 		out = append(out, k)
 	}

@@ -1,0 +1,413 @@
+// The concurrency-hygiene pass, module-wide. Three checks:
+//
+//  1. Pool-task context discipline: a func literal passed to a Pool/Group
+//     Go method that names its context parameter but never uses it almost
+//     always means cancellation was forgotten — the task will run to
+//     completion after the run is cancelled. Literals with an unnamed or
+//     underscore parameter are an explicit opt-out and stay silent.
+//  2. Lock-by-value: assigning, passing, or ranging a value whose type
+//     contains a sync.Mutex/RWMutex/WaitGroup/Once copies lock state.
+//  3. Locks held across blocking points: a linear scan of each statement
+//     list tracks mu.Lock()/mu.Unlock() pairs (keyed by receiver
+//     expression) and reports WaitGroup.Wait calls and channel operations
+//     made while a lock is held — the standing deadlock shape the
+//     fault-tolerant run engine must never reintroduce.
+package vetting
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func checkConcurrency(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, concPoolCtx(p)...)
+		diags = append(diags, concLockCopies(p)...)
+		diags = append(diags, concHeldLocks(p)...)
+	}
+	return diags
+}
+
+// --- check 1: Pool task literals ignoring their ctx parameter ---
+
+func concPoolCtx(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPoolGo(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				ctx := namedCtxParam(p, lit)
+				if ctx == nil {
+					continue
+				}
+				if !identUsed(p, lit.Body, ctx) {
+					diags = append(diags, Diagnostic{p.Fset.Position(lit.Pos()), PassConcurrency,
+						fmt.Sprintf("pool task names its context parameter %q but never uses it; honor cancellation or use an unnamed parameter", ctx.Name())})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isPoolGo reports whether call is a Go method on a type from
+// internal/experiments (Pool or Group).
+func isPoolGo(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Go" {
+		return false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/experiments")
+}
+
+// namedCtxParam returns the object of the first parameter whose type is
+// context.Context, when it has a real name.
+func namedCtxParam(p *Package, lit *ast.FuncLit) types.Object {
+	if lit.Type.Params == nil {
+		return nil
+	}
+	for _, field := range lit.Type.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			return p.Info.Defs[name]
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func identUsed(p *Package, body ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// --- check 2: lock values copied ---
+
+func concLockCopies(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, what string, t types.Type) {
+		diags = append(diags, Diagnostic{p.Fset.Position(pos), PassConcurrency,
+			fmt.Sprintf("%s copies %s, which contains a lock", what, types.TypeString(t, nil))})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if isBlank(n.Lhs[i]) {
+						continue
+					}
+					// Copying out of a dereference or a composite value;
+					// taking a pointer or building a composite literal is
+					// fine.
+					if t := valueCopyType(p, rhs); t != nil && containsLock(t) {
+						report(rhs.Pos(), "assignment", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(rs(n)); t != nil {
+					if elem := rangeElemType(t); elem != nil && containsLock(elem) {
+						if n.Value != nil && !isBlank(n.Value) {
+							report(n.Value.Pos(), "range value", elem)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true
+				}
+				for _, arg := range n.Args {
+					if t := valueCopyType(p, arg); t != nil && containsLock(t) {
+						report(arg.Pos(), "argument", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func rs(n *ast.RangeStmt) ast.Expr { return n.X }
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// valueCopyType returns the type of rhs when evaluating it copies a value
+// (a dereference, a variable read, a field read), or nil for expressions
+// that create or reference rather than copy (literals, calls, &x, index of
+// a map — which is already a copy the compiler rejects for locks).
+func valueCopyType(p *Package, e ast.Expr) types.Type {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		t := p.Info.TypeOf(e.(ast.Expr))
+		if t == nil {
+			return nil
+		}
+		if _, ok := t.(*types.Pointer); ok {
+			return nil
+		}
+		// Only struct (or array-of-struct) values can embed locks.
+		return t
+	default:
+		return nil
+	}
+}
+
+func rangeElemType(t types.Type) types.Type {
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		return t.Elem()
+	case *types.Array:
+		return t.Elem()
+	case *types.Map:
+		return t.Elem()
+	}
+	return nil
+}
+
+// containsLock reports whether t (by value) transitively contains a sync
+// lock type.
+func containsLock(t types.Type) bool {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockIn(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return false
+}
+
+// --- check 3: locks held across Wait / channel operations ---
+
+func concHeldLocks(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				diags = append(diags, p.scanHeld(body.List, map[string]token.Position{})...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// scanHeld walks one statement list linearly. held maps a lock receiver
+// expression (by source text) to the position it was acquired. Nested
+// blocks are scanned with a copy of the held set: control flow inside them
+// may release and reacquire, so only locks provably held at entry count.
+func (p *Package) scanHeld(stmts []ast.Stmt, held map[string]token.Position) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, what string) {
+		for lock := range held {
+			diags = append(diags, Diagnostic{p.Fset.Position(pos), PassConcurrency,
+				fmt.Sprintf("%s while holding %s.Lock(); release before blocking", what, lock)})
+		}
+	}
+	checkExpr := func(e ast.Expr) {
+		if len(held) == 0 || e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					report(n.Pos(), "channel receive")
+				}
+			case *ast.CallExpr:
+				if recv, ok := lockCall(p, n, "Wait"); ok && !isCondType(p, n) {
+					report(n.Pos(), "call to "+recv+".Wait()")
+				}
+			}
+			return true
+		})
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, ok := lockCall(p, call, "Lock"); ok {
+					held[recv] = p.Fset.Position(call.Pos())
+					continue
+				}
+				if recv, ok := lockCall(p, call, "RLock"); ok {
+					held[recv] = p.Fset.Position(call.Pos())
+					continue
+				}
+				if recv, ok := lockCall(p, call, "Unlock"); ok {
+					delete(held, recv)
+					continue
+				}
+				if recv, ok := lockCall(p, call, "RUnlock"); ok {
+					delete(held, recv)
+					continue
+				}
+			}
+			checkExpr(s.X)
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				report(s.Pos(), "channel send")
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases at return, not here: the lock
+			// stays held for the scan, which is the point.
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				checkExpr(r)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				checkExpr(r)
+			}
+		case *ast.IfStmt:
+			checkExpr(s.Cond)
+			diags = append(diags, p.scanHeld(s.Body.List, copyHeld(held))...)
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				diags = append(diags, p.scanHeld(els.List, copyHeld(held))...)
+			}
+		case *ast.ForStmt:
+			checkExpr(s.Cond)
+			diags = append(diags, p.scanHeld(s.Body.List, copyHeld(held))...)
+		case *ast.RangeStmt:
+			diags = append(diags, p.scanHeld(s.Body.List, copyHeld(held))...)
+		case *ast.BlockStmt:
+			diags = append(diags, p.scanHeld(s.List, copyHeld(held))...)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					diags = append(diags, p.scanHeld(cc.Body, copyHeld(held))...)
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				report(s.Pos(), "select over channels")
+			}
+		}
+	}
+	return diags
+}
+
+func copyHeld(held map[string]token.Position) map[string]token.Position {
+	out := make(map[string]token.Position, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockCall matches a call of the form recv.<method>() where recv's type
+// comes from package sync (directly or embedded), returning the receiver's
+// source text.
+func lockCall(p *Package, call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method || len(call.Args) != 0 {
+		return "", false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil {
+		return "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// isCondType filters sync.Cond.Wait, which must be called with the lock
+// held — the opposite discipline.
+func isCondType(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Cond"
+}

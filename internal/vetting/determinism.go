@@ -1,0 +1,393 @@
+// The determinism pass: in the packages whose outputs feed the golden
+// oracle and the artifact-cache keys, map iteration order must never leak
+// into results, and ambient nondeterminism (clock, global RNG, environment)
+// is banned outright.
+//
+// A `range` over a map is reported unless its body is provably order-free:
+//
+//   - writes keyed by the range key (map inserts, slice stores) commute;
+//   - integer accumulation (`+=`, `|=`, `++`, …) commutes exactly, while
+//     float accumulation does not (rounding is order-sensitive);
+//   - the collect-keys-then-sort idiom is recognized: a body that only
+//     appends to slices which are passed to a sort/slices call later in the
+//     same block is order-free;
+//   - everything else — calls with unknown effects, early exits, channel
+//     operations, mutation of outer structure — is order-dependent.
+//
+// Genuinely order-free loops the classifier cannot prove are annotated
+// `//ispy:ordered <reason>` at the site (see waiver.go).
+package vetting
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func checkDeterminism(pkgs []*Package, cfg Config, ws *waiverSet) []Diagnostic {
+	want := stringSet(cfg.DeterministicPkgs)
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if !want[p.Path] {
+			continue
+		}
+		diags = append(diags, detImports(p)...)
+		diags = append(diags, detCalls(p)...)
+		diags = append(diags, detMapRanges(p, ws)...)
+	}
+	return diags
+}
+
+// detImports bans the global, seed-ambient RNG; internal/rng is the only
+// sanctioned randomness (explicitly seeded, stable across platforms).
+func detImports(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				diags = append(diags, Diagnostic{p.Fset.Position(imp.Pos()), PassDeterminism,
+					"import of math/rand in a deterministic package; use internal/rng (explicitly seeded, platform-stable)"})
+			}
+		}
+	}
+	return diags
+}
+
+// detForbiddenCalls are ambient-nondeterminism entry points: results depend
+// on when or where the run happens, not on the seeds.
+var detForbiddenCalls = map[string]string{
+	"time.Now":     "wall-clock read",
+	"time.Since":   "wall-clock read",
+	"os.Getenv":    "environment read",
+	"os.LookupEnv": "environment read",
+	"os.Environ":   "environment read",
+}
+
+func detCalls(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		key := fn.Pkg().Path() + "." + fn.Name()
+		if why, bad := detForbiddenCalls[key]; bad {
+			diags = append(diags, Diagnostic{p.Fset.Position(id.Pos()), PassDeterminism,
+				fmt.Sprintf("call to %s (%s) in a deterministic package", key, why)})
+		}
+	}
+	return diags
+}
+
+func detMapRanges(p *Package, ws *waiverSet) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			detail, free := p.classifyMapRange(rs, stack)
+			if free {
+				return
+			}
+			pos := p.Fset.Position(rs.For)
+			if ws.waived(PassDeterminism, pos) {
+				return
+			}
+			diags = append(diags, Diagnostic{pos, PassDeterminism,
+				fmt.Sprintf("range over map %s has order-dependent effects (%s); iterate a sorted key slice or waive with //ispy:ordered <reason>",
+					types.ExprString(rs.X), detail)})
+		})
+	}
+	return diags
+}
+
+// classifyMapRange decides whether the loop body is order-free. It returns
+// the first order-dependent effect found, or ("", true).
+func (p *Package) classifyMapRange(rs *ast.RangeStmt, stack []ast.Node) (string, bool) {
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = p.Info.Defs[id]
+		if keyObj == nil {
+			keyObj = p.Info.Uses[id]
+		}
+	}
+	var problems []string
+	var appendTargets []string
+	flag := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if len(problems) > 0 {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag("declares a closure with unknown capture effects")
+			return false
+		case *ast.ReturnStmt:
+			flag("returns from inside the loop")
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				flag("%s exits the loop early", n.Tok)
+			}
+		case *ast.SendStmt:
+			flag("channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				flag("channel receive")
+			}
+		case *ast.GoStmt:
+			flag("spawns a goroutine")
+		case *ast.DeferStmt:
+			flag("defers a call")
+		case *ast.CallExpr:
+			if d := p.classifyCall(n); d != "" {
+				flag("%s", d)
+			}
+		case *ast.IncDecStmt:
+			if d := p.classifyStore(rs, keyObj, n.X, token.ADD_ASSIGN); d != "" {
+				flag("%s", d)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(n.Rhs) == len(n.Lhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					rhs = n.Rhs[0]
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && p.isBuiltin(call, "append") && len(call.Args) > 0 {
+					if types.ExprString(lhs) == types.ExprString(call.Args[0]) {
+						appendTargets = append(appendTargets, types.ExprString(lhs))
+						continue
+					}
+					flag("append into %s from a different slice", types.ExprString(lhs))
+					continue
+				}
+				if d := p.classifyStore(rs, keyObj, lhs, n.Tok); d != "" {
+					flag("%s", d)
+				}
+			}
+		}
+		return true
+	})
+
+	if len(problems) > 0 {
+		return problems[0], false
+	}
+	if len(appendTargets) > 0 {
+		if missing := p.unsortedAfter(rs, stack, appendTargets); missing != "" {
+			return fmt.Sprintf("appends to %s with no subsequent sort in the same block", missing), false
+		}
+	}
+	return "", true
+}
+
+// classifyCall returns a problem description unless the call is effect-free
+// for ordering purposes: a type conversion or a pure builtin.
+func (p *Package) classifyCall(call *ast.CallExpr) string {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return "" // conversion
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "append", "make", "new", "delete", "min", "max":
+				return ""
+			}
+			return "call to builtin " + b.Name()
+		}
+	}
+	return "call to " + types.ExprString(call.Fun) + " with unknown effects"
+}
+
+func (p *Package) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// classifyStore decides whether one store target is order-free under the
+// assignment operator tok. Stores keyed by the range key commute (each
+// iteration owns its slot); integer read-modify-write commutes; everything
+// else is order-dependent.
+func (p *Package) classifyStore(rs *ast.RangeStmt, keyObj types.Object, lhs ast.Expr, tok token.Token) string {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return ""
+		}
+		obj := p.Info.Defs[l]
+		if obj == nil {
+			obj = p.Info.Uses[l]
+		}
+		if obj == nil || tok == token.DEFINE || declaredWithin(obj, rs.Body) {
+			return "" // loop-local
+		}
+		if isCommutativeOp(tok) {
+			if isIntegerType(obj.Type()) {
+				return ""
+			}
+			return fmt.Sprintf("order-sensitive %s accumulation into %s (float rounding depends on order)", tok, l.Name)
+		}
+		return "assignment to outer variable " + l.Name
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(l.Index).(*ast.Ident); ok && keyObj != nil && p.objectOf(id) == keyObj {
+			return "" // slot owned by this iteration's key
+		}
+		base := p.Info.TypeOf(l.X)
+		if base != nil {
+			if _, isMap := base.Underlying().(*types.Map); isMap && sameExprAsRange(rs, l.X) {
+				return "writes to the map being ranged over"
+			}
+		}
+		if isCommutativeOp(tok) && isIntegerType(p.Info.TypeOf(l)) {
+			return "" // commutative accumulation, collisions included
+		}
+		return fmt.Sprintf("store to %s under a computed key", types.ExprString(l))
+	default:
+		return "mutation of " + types.ExprString(lhs)
+	}
+}
+
+func sameExprAsRange(rs *ast.RangeStmt, x ast.Expr) bool {
+	return types.ExprString(ast.Unparen(x)) == types.ExprString(ast.Unparen(rs.X))
+}
+
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() != token.NoPos && n.Pos() <= obj.Pos() && obj.Pos() < n.End()
+}
+
+func isCommutativeOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// unsortedAfter checks the collect-then-sort idiom: every append target
+// must be handed to a sort (package sort or slices) by a statement after
+// the range in the same enclosing block. It returns the first target with
+// no such sort, or "".
+func (p *Package) unsortedAfter(rs *ast.RangeStmt, stack []ast.Node, targets []string) string {
+	after := stmtsAfter(stack, rs)
+	for _, target := range targets {
+		sorted := false
+		for _, s := range after {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || !p.isSortCall(call) {
+				continue
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(arg) == target {
+					sorted = true
+					break
+				}
+			}
+			if sorted {
+				break
+			}
+		}
+		if !sorted {
+			return target
+		}
+	}
+	return ""
+}
+
+func (p *Package) isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// stmtsAfter returns the statements following rs in its innermost enclosing
+// block (or case clause).
+func stmtsAfter(stack []ast.Node, rs ast.Stmt) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		for j, s := range list {
+			if s == rs {
+				return list[j+1:]
+			}
+		}
+	}
+	return nil
+}
+
+// inspectStack is ast.Inspect with an ancestor stack (excluding the node
+// itself) passed to the callback.
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,96 @@
+// The reference-freeze pass: the golden reference kernels must stay
+// textually and structurally independent of the fast path they oracle.
+// PR 3 preserved the pre-optimization simulator in reference.go files; if
+// those files start calling into plan.go/mask.go/the SoA cache, a bug in
+// the fast path can leak into the oracle and the golden comparison proves
+// nothing. The pass builds a types-resolved reference graph: every
+// identifier used in the frozen file is resolved to its declaring object,
+// and objects declared in a forbidden sibling file are reported. Shared
+// plain types (configs, stats structs) live in non-forbidden files, so the
+// rule stays enforceable without duplicating declarations.
+package vetting
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+func checkFreeze(pkgs []*Package, cfg Config, ws *waiverSet) []Diagnostic {
+	var diags []Diagnostic
+	for _, rule := range cfg.FreezeRules {
+		p := findPackage(pkgs, rule.PkgPath)
+		if p == nil {
+			continue
+		}
+		diags = append(diags, freezeFile(p, rule, ws)...)
+	}
+	return diags
+}
+
+func findPackage(pkgs []*Package, path string) *Package {
+	for _, p := range pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+func freezeFile(p *Package, rule FreezeRule, ws *waiverSet) []Diagnostic {
+	forbidden := stringSet(rule.Forbidden)
+	var frozen *ast.File
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) == rule.File {
+			frozen = f
+			break
+		}
+	}
+	if frozen == nil {
+		return []Diagnostic{{p.Fset.Position(p.Files[0].Pos()), PassFreeze,
+			fmt.Sprintf("freeze rule names %s/%s but the file does not exist", rule.PkgPath, rule.File)}}
+	}
+
+	var diags []Diagnostic
+	seen := make(map[string]bool) // file:line:symbol, one report per use site
+	ast.Inspect(frozen, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || obj.Pkg() != p.Types {
+			return true
+		}
+		declFile := declaringFile(p, obj)
+		if !forbidden[declFile] {
+			return true
+		}
+		pos := p.Fset.Position(id.Pos())
+		key := fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, obj.Name())
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		if ws.waived(PassFreeze, pos) {
+			return true
+		}
+		diags = append(diags, Diagnostic{pos, PassFreeze,
+			fmt.Sprintf("frozen %s references %s declared in fast-path file %s; the golden oracle must not depend on the code it checks",
+				rule.File, obj.Name(), declFile)})
+		return true
+	})
+	return diags
+}
+
+// declaringFile returns the base name of the file declaring obj. For
+// fields and methods the position of the object itself (not its receiver
+// type) decides, which is what freezing per-file requires.
+func declaringFile(p *Package, obj types.Object) string {
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		return ""
+	}
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}

@@ -1,0 +1,265 @@
+// Module loading for the analyzer: a small, stdlib-only substitute for
+// golang.org/x/tools/go/packages. Module-local import paths are resolved
+// through explicit prefix→directory roots (read from go.mod), so the loader
+// never depends on go/build's module machinery; everything else (the
+// standard library) is type-checked from GOROOT source via go/importer's
+// "source" importer. Test files are excluded — the passes govern shipped
+// code, and fixture packages under testdata/ are loaded explicitly by the
+// analyzer's own tests through an extra root.
+package vetting
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages on demand, caching results. It
+// implements types.ImporterFrom so packages can import each other and the
+// standard library.
+type Loader struct {
+	fset  *token.FileSet
+	roots []root
+	std   types.ImporterFrom
+	pkgs  map[string]*loadEntry
+}
+
+type root struct{ prefix, dir string }
+
+type loadEntry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns an empty loader; register module roots with AddRoot (or
+// use LoadModule) before loading.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{fset: fset, pkgs: make(map[string]*loadEntry)}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// AddRoot maps the import-path prefix to a directory: the package
+// prefix/a/b loads from dir/a/b.
+func (l *Loader) AddRoot(prefix, dir string) {
+	l.roots = append(l.roots, root{prefix: prefix, dir: dir})
+}
+
+// ModulePath reads the module path from dir/go.mod.
+func ModulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(rest)
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", dir)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// LoadModule registers modRoot as a root and loads every non-test package
+// under it (skipping testdata, hidden, and underscore directories), in
+// sorted import-path order.
+func (l *Loader) LoadModule(modRoot string) ([]*Package, error) {
+	modPath, err := ModulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	l.AddRoot(modPath, modRoot)
+	var paths []string
+	err = filepath.WalkDir(modRoot, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != modRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		ok, err := hasGoFiles(p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			rel, err := filepath.Rel(modRoot, p)
+			if err != nil {
+				return err
+			}
+			ip := modPath
+			if rel != "." {
+				ip = modPath + "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := l.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func goSource(e fs.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// Load parses and type-checks the package at the given import path, which
+// must be under one of the registered roots.
+func (l *Loader) Load(path string) (*Package, error) {
+	for _, r := range l.roots {
+		if path == r.prefix {
+			return l.load(path, r.dir)
+		}
+		if rest, ok := strings.CutPrefix(path, r.prefix+"/"); ok {
+			return l.load(path, filepath.Join(r.dir, filepath.FromSlash(rest)))
+		}
+	}
+	return nil, fmt.Errorf("import path %q is under no registered root", path)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &loadEntry{loading: true}
+	l.pkgs[path] = e
+	e.pkg, e.err = l.check(path, dir)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+func (l *Loader) check(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, ent := range ents {
+		if !goSource(ent) {
+			continue
+		}
+		fname := filepath.Join(dir, ent.Name())
+		f, err := parser.ParseFile(l.fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths resolve
+// through the registered roots; everything else is delegated to the
+// standard library's source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	for _, r := range l.roots {
+		if path == r.prefix || strings.HasPrefix(path, r.prefix+"/") {
+			p, err := l.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,64 @@
+// Package conc exercises the concurrency-hygiene pass.
+package conc
+
+import (
+	"context"
+	"sync"
+
+	"fixture/internal/experiments"
+)
+
+// Tasks shows the three ctx-parameter shapes.
+func Tasks(p *experiments.Pool, work func() error) {
+	p.Go(func(ctx context.Context) error { // want `never uses it`
+		return work()
+	})
+	p.Go(func(ctx context.Context) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return work()
+	})
+	p.Go(func(context.Context) error {
+		return work()
+	})
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies the whole struct, lock included.
+func Snapshot(g *guarded) int {
+	cp := *g // want `contains a lock`
+	return cp.n
+}
+
+// WaitUnderLock blocks on a WaitGroup with the mutex held.
+func WaitUnderLock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait() // want `while holding mu`
+	mu.Unlock()
+}
+
+// SendUnderLock sends on a channel with the mutex held.
+func SendUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while holding mu`
+	mu.Unlock()
+}
+
+// CleanWait releases before blocking.
+func CleanWait(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	mu.Unlock()
+	wg.Wait()
+}
+
+// CondWait is the opposite discipline and must stay silent.
+func CondWait(c *sync.Cond) {
+	c.L.Lock()
+	c.Wait()
+	c.L.Unlock()
+}

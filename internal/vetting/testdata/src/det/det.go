@@ -1,0 +1,91 @@
+// Package det exercises the determinism pass: map ranges with and without
+// order-dependent effects, the collect-then-sort idiom, waivers, and the
+// banned ambient-nondeterminism calls.
+package det
+
+import (
+	"math/rand" // want `import of math/rand`
+	"os"
+	"sort"
+	"time"
+)
+
+// Collect is the sanctioned idiom: append-only body, target sorted in the
+// same block. No diagnostic.
+func Collect(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SumInts commutes exactly: integer accumulation is order-free.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumFloats does not commute: rounding depends on iteration order.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `order-dependent effects`
+		total += v
+	}
+	return total
+}
+
+// CollectUnsorted appends without a subsequent sort.
+func CollectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `no subsequent sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// First exits the loop early, so the result depends on iteration order.
+func First(m map[string]int) (string, bool) {
+	for k := range m { // want `returns from inside the loop`
+		return k, true
+	}
+	return "", false
+}
+
+// Waived is order-dependent but explicitly excused.
+func Waived(m map[string]int) []int {
+	var out []int
+	//ispy:ordered fixture: consumers of out treat it as a set
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+//ispy:ordered fixture: waiver on a clean line // want `unused //ispy:ordered waiver`
+var clean = 1
+
+//ispy:frobnicate nonsense // want `unknown directive`
+var alsoClean = 2
+
+//ispy:ordered // want `needs a reason`
+var stillClean = 3
+
+// Clock reads the wall clock.
+func Clock() int64 {
+	return time.Now().Unix() // want `call to time.Now`
+}
+
+// Env reads the environment.
+func Env() string {
+	return os.Getenv("HOME") // want `call to os.Getenv`
+}
+
+// Roll uses the banned global RNG (the import is what gets flagged).
+func Roll() int {
+	return rand.Intn(clean + alsoClean + stillClean)
+}

@@ -1,0 +1,38 @@
+// Package errs exercises the discarded-errors pass.
+package errs
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Drop ignores a bare error result.
+func Drop() {
+	fail() // want `result of fail discarded`
+}
+
+// Blank binds error positions to the blank identifier.
+func Blank() {
+	_, _ = pair() // want `error assigned to blank identifier`
+	_ = fail()    // want `error assigned to blank identifier`
+}
+
+// Waived drops deliberately, with a reason on record.
+func Waived() {
+	fail() //ispy:errok fixture: intentional best-effort drop
+}
+
+// Checked handles both shapes properly.
+func Checked() (int, error) {
+	if err := fail(); err != nil {
+		return 0, err
+	}
+	return pair()
+}
+
+// CommaOk idioms yield bools, not errors, and stay silent.
+func CommaOk(m map[string]int) int {
+	v, _ := m["k"]
+	return v
+}

@@ -1,0 +1,7 @@
+package freezefix
+
+// FastPlan is fast-path state the frozen file must not touch.
+type FastPlan struct{ N int }
+
+// BuildPlan constructs fast-path state.
+func BuildPlan() *FastPlan { return &FastPlan{N: 1} }

@@ -1,0 +1,13 @@
+package freezefix
+
+// RefRun is the frozen kernel; it must not reach into plan.go.
+func RefRun(s Shared) int {
+	p := BuildPlan() // want `references BuildPlan declared in fast-path file plan.go`
+	return s.V + p.N // want `references N declared in fast-path file plan.go`
+}
+
+// RefWaived uses a sanctioned adapter.
+func RefWaived() int {
+	//ispy:xref fixture: sanctioned adapter
+	return BuildPlan().N
+}

@@ -1,0 +1,4 @@
+package freezefix
+
+// Shared is configuration both kernels may use.
+type Shared struct{ V int }

@@ -1,0 +1,11 @@
+// Package experiments mirrors the real pool API so the concurrency pass
+// can resolve Go-method calls the same way it does against the module.
+package experiments
+
+import "context"
+
+// Pool is a stand-in for the real worker pool.
+type Pool struct{}
+
+// Go mirrors experiments.Pool.Go.
+func (p *Pool) Go(task func(context.Context) error) {}

@@ -1,0 +1,14 @@
+// Package statsdef mirrors sim.Stats for the exhaustiveness pass.
+package statsdef
+
+// Stats has one exported field no other package reads.
+type Stats struct {
+	A int
+	B int
+	C int // want `exported field Stats.C is never read`
+
+	internal int
+}
+
+// Touch keeps the unexported field in play without exporting it.
+func (s *Stats) Touch() { s.internal++ }

@@ -1,0 +1,7 @@
+// Package statsreader reads some, but not all, of statsdef.Stats.
+package statsreader
+
+import "fixture/statsdef"
+
+// Sum reads A and B; C is deliberately forgotten.
+func Sum(s *statsdef.Stats) int { return s.A + s.B }

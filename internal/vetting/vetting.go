@@ -1,0 +1,190 @@
+// Package vetting implements ispy-vet, the repository's from-scratch static
+// determinism and invariant analyzer. It is built only on the standard
+// library's go/parser and go/types (no golang.org/x/tools), preserving the
+// repo's stdlib-only rule, and exists because the whole evaluation rests on
+// bit-identical reproducibility: the golden-equivalence oracle (DESIGN.md §9)
+// compares the fast-path simulator against sim.RunReference field-for-field,
+// and that comparison is only trustworthy while every deterministic layer —
+// workload generation → profiling → analysis → simulation → reporting —
+// stays free of Go's classic nondeterminism traps.
+//
+// Five passes run over the type-checked module (DESIGN.md §10):
+//
+//   - determinism: in the deterministic packages, flag `range` over
+//     map-typed values whose body has order-dependent effects (appends
+//     without an adjacent sort, calls with unknown effects, float
+//     accumulation, early exits) plus any call to time.Now, math/rand, or
+//     environment reads.
+//   - freeze: the golden reference kernels (internal/sim/reference.go,
+//     internal/cache/reference.go) must not reference fast-path symbols
+//     (plan.go, mask.go, the SoA cache internals), checked on the
+//     types-resolved reference graph.
+//   - stats: every exported field of sim.Stats must be read somewhere
+//     outside package sim, so a new counter cannot silently escape the
+//     golden comparison and the artifact serializer.
+//   - concurrency: experiments.Pool task literals with a named-but-unused
+//     ctx parameter, lock-by-value copies, and locks held across Wait calls
+//     or channel operations.
+//   - errors: unchecked or blank-assigned error returns in the I/O-handling
+//     packages (traceio, artifacts, faults).
+//
+// Waivers are first-class: a `//ispy:<directive> <reason>` comment on the
+// flagged line (or the line above) suppresses one pass at that site and is
+// counted; a waiver that no longer suppresses anything is itself reported,
+// so stale annotations cannot accumulate.
+package vetting
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Pass names, as printed in diagnostics (file:line: pass: message).
+const (
+	PassDeterminism = "determinism"
+	PassFreeze      = "freeze"
+	PassStats       = "stats"
+	PassConcurrency = "concurrency"
+	PassErrors      = "errors"
+	PassWaiver      = "waiver"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+// String renders the diagnostic in the gate's canonical
+// `file:line: pass: message` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pass, d.Message)
+}
+
+// FreezeRule pins one file of a package: the frozen file must not reference
+// any symbol declared in the forbidden files of the same package.
+type FreezeRule struct {
+	// PkgPath is the import path of the package the rule applies to.
+	PkgPath string
+	// File is the base name of the frozen file.
+	File string
+	// Forbidden are base names of sibling files whose declarations the
+	// frozen file must not use.
+	Forbidden []string
+}
+
+// StatsRule requires every exported field of one struct type to be
+// referenced outside its defining package.
+type StatsRule struct {
+	PkgPath string
+	Type    string
+}
+
+// Config selects what the passes enforce. The zero value runs only the
+// module-wide passes (concurrency) and whatever rules are listed.
+type Config struct {
+	// DeterministicPkgs are the import paths the determinism pass covers.
+	DeterministicPkgs []string
+	// ErrorPkgs are the import paths the discarded-errors pass covers.
+	ErrorPkgs []string
+	// FreezeRules are the reference-freeze rules.
+	FreezeRules []FreezeRule
+	// StatsRules are the exhaustiveness rules.
+	StatsRules []StatsRule
+}
+
+// DefaultConfig returns the repository's rules: the deterministic layers
+// from ISA to trace serialization, the two golden reference kernels frozen
+// against their fast-path siblings, sim.Stats exhaustiveness, and error
+// hygiene in the packages that touch the filesystem.
+func DefaultConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{
+			"ispy/internal/isa",
+			"ispy/internal/cfg",
+			"ispy/internal/core",
+			"ispy/internal/workload",
+			"ispy/internal/profile",
+			"ispy/internal/asmdb",
+			"ispy/internal/lbr",
+			"ispy/internal/bloom",
+			"ispy/internal/hashx",
+			"ispy/internal/rng",
+			"ispy/internal/sim",
+			"ispy/internal/cache",
+			"ispy/internal/traceio",
+		},
+		ErrorPkgs: []string{
+			"ispy/internal/traceio",
+			"ispy/internal/artifacts",
+			"ispy/internal/faults",
+		},
+		FreezeRules: []FreezeRule{
+			{
+				PkgPath:   "ispy/internal/sim",
+				File:      "reference.go",
+				Forbidden: []string{"plan.go", "mask.go"},
+			},
+			{
+				PkgPath:   "ispy/internal/cache",
+				File:      "reference.go",
+				Forbidden: []string{"cache.go"},
+			},
+		},
+		StatsRules: []StatsRule{
+			{PkgPath: "ispy/internal/sim", Type: "Stats"},
+		},
+	}
+}
+
+// Result is one analyzer run's findings plus the waivers in effect.
+type Result struct {
+	Diags   []Diagnostic
+	Waivers []*Waiver
+}
+
+// Run executes every pass over the loaded packages and returns the sorted
+// findings. Waivers are collected from all packages first so each pass can
+// consult them; unused and malformed waivers become diagnostics themselves.
+func Run(pkgs []*Package, cfg Config) *Result {
+	ws := collectWaivers(pkgs)
+	var diags []Diagnostic
+	diags = append(diags, checkDeterminism(pkgs, cfg, ws)...)
+	diags = append(diags, checkFreeze(pkgs, cfg, ws)...)
+	diags = append(diags, checkStats(pkgs, cfg)...)
+	diags = append(diags, checkConcurrency(pkgs)...)
+	diags = append(diags, checkErrors(pkgs, cfg, ws)...)
+	diags = append(diags, ws.diags()...)
+	sortDiags(diags)
+	return &Result{Diags: diags, Waivers: ws.all}
+}
+
+// sortDiags orders findings by position then pass then message, so output
+// is deterministic regardless of pass scheduling or map iteration inside
+// the analyzer itself (which is not one of the deterministic packages — it
+// sorts instead).
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
+
+func stringSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,129 @@
+// Waivers: `//ispy:<directive> <reason>` comments that suppress one pass at
+// one site. A waiver applies to the line it sits on and the line directly
+// below it (so it can trail the flagged statement or sit on its own line
+// above). Waivers are first-class gate state: every one is counted and
+// listable (`ispy-vet -waivers`), a reason is mandatory, and a waiver that
+// suppresses nothing is reported as stale so annotations cannot outlive the
+// code they excused.
+package vetting
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directives, by pass they waive.
+const (
+	DirectiveOrdered = "ordered" // determinism: map range is order-free
+	DirectiveXref    = "xref"    // freeze: sanctioned fast-path reference
+	DirectiveErrOK   = "errok"   // errors: dropped error is intentional
+)
+
+var directivePass = map[string]string{
+	DirectiveOrdered: PassDeterminism,
+	DirectiveXref:    PassFreeze,
+	DirectiveErrOK:   PassErrors,
+}
+
+// Waiver is one parsed //ispy: directive.
+type Waiver struct {
+	Pos       token.Position
+	Directive string
+	Pass      string
+	Reason    string
+	Used      bool
+}
+
+type waiverSet struct {
+	byLine map[string]map[int]*Waiver // file → line → waiver
+	all    []*Waiver
+	bad    []Diagnostic
+}
+
+func collectWaivers(pkgs []*Package) *waiverSet {
+	ws := &waiverSet{byLine: make(map[string]map[int]*Waiver)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ws.add(p.Fset.Position(c.Pos()), c.Text)
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func (ws *waiverSet) add(pos token.Position, text string) {
+	body, ok := strings.CutPrefix(text, "//ispy:")
+	if !ok {
+		return
+	}
+	// Tolerate a trailing test expectation on fixture lines.
+	if i := strings.Index(body, "// want"); i >= 0 {
+		body = body[:i]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		ws.bad = append(ws.bad, Diagnostic{pos, PassWaiver, "empty //ispy: directive"})
+		return
+	}
+	pass, known := directivePass[fields[0]]
+	if !known {
+		ws.bad = append(ws.bad, Diagnostic{pos, PassWaiver,
+			fmt.Sprintf("unknown directive //ispy:%s (known: ordered, xref, errok)", fields[0])})
+		return
+	}
+	if len(fields) == 1 {
+		ws.bad = append(ws.bad, Diagnostic{pos, PassWaiver,
+			fmt.Sprintf("//ispy:%s needs a reason", fields[0])})
+		return
+	}
+	w := &Waiver{
+		Pos:       pos,
+		Directive: fields[0],
+		Pass:      pass,
+		Reason:    strings.Join(fields[1:], " "),
+	}
+	lines := ws.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int]*Waiver)
+		ws.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = w
+	ws.all = append(ws.all, w)
+}
+
+// waived reports (and records use of) a waiver for pass at pos: on the same
+// line, or on the line directly above.
+func (ws *waiverSet) waived(pass string, pos token.Position) bool {
+	lines := ws.byLine[pos.Filename]
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		if w := lines[ln]; w != nil && w.Pass == pass {
+			w.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// diags returns malformed-directive and stale-waiver findings.
+func (ws *waiverSet) diags() []Diagnostic {
+	out := append([]Diagnostic(nil), ws.bad...)
+	for _, w := range ws.all {
+		if !w.Used {
+			out = append(out, Diagnostic{w.Pos, PassWaiver,
+				fmt.Sprintf("unused //ispy:%s waiver: nothing to waive on this line", w.Directive)})
+		}
+	}
+	sort.Slice(ws.all, func(i, j int) bool {
+		a, b := ws.all[i].Pos, ws.all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}

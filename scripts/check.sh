@@ -1,8 +1,9 @@
 #!/bin/sh
-# The repository gate: gofmt, vet, build, race-enabled tests, a short fuzz
-# pass over the trace decoders, a CLI-level fault-injection smoke, and the
-# bench-script JSON smoke. `make check` runs the same steps; this script
-# exists for environments without make.
+# The repository gate: gofmt, vet, ispy-vet (the repo's determinism &
+# invariant analyzer), build, race-enabled tests, a short fuzz pass over the
+# trace decoders, a CLI-level fault-injection smoke, and the bench-script
+# JSON smoke. `make check` runs the same steps; this script exists for
+# environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,8 @@ if [ -n "$unformatted" ]; then
 fi
 echo "== go vet ./..."
 go vet ./...
+echo "== ispy-vet ./..."
+go run ./cmd/ispy-vet ./...
 echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
