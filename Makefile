@@ -15,8 +15,13 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own determinism & invariant analyzer (see DESIGN.md §10).
+# Strict mode: stale waivers fail the gate. The -json invocation is a
+# smoke test for the machine-readable output tooling depends on.
 ispyvet:
-	$(GO) run ./cmd/ispy-vet ./...
+	$(GO) run ./cmd/ispy-vet -strict ./...
+	@$(GO) run ./cmd/ispy-vet -json ./... > /dev/null 2>&1 || \
+		{ echo "ispyvet: -json smoke failed"; exit 1; }
+	@echo "ispyvet: -json smoke ok"
 
 # List every //ispy: waiver in effect, for periodic review.
 vet-waivers:

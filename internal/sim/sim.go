@@ -313,6 +313,7 @@ type machine struct {
 	batchLen   int
 }
 
+//ispy:alloc one-time machine construction; hierarchy, LBR, and fetch plans are built before the measured region
 func newMachine(prog *isa.Program, cfg Config, hooks *Hooks) *machine {
 	m := &machine{
 		prog:     prog,
@@ -359,8 +360,8 @@ func (m *machine) run(src BlockSource, baseBudget uint64) {
 // machine across the warmup/measure boundary.
 func (m *machine) runBatched(bs BatchSource, target uint64) {
 	if m.batchIDs == nil {
-		m.batchIDs = make([]int32, batchBlocks)
-		m.batchTaken = make([]bool, batchBlocks)
+		m.batchIDs = make([]int32, batchBlocks)  //ispy:alloc batch buffer, allocated once on first run
+		m.batchTaken = make([]bool, batchBlocks) //ispy:alloc batch buffer, allocated once on first run
 	}
 	for m.stats.BaseInstrs < target {
 		if m.batchPos == m.batchLen {
@@ -387,7 +388,7 @@ func (m *machine) execBlock(bid int, taken bool) {
 		m.lbr.Push(int32(bid), p.addr, m.now(), m.totalInstr)
 	}
 	if m.hooks.OnBlock != nil && m.measured {
-		m.hooks.OnBlock(bid, m.now(), m.lbr)
+		m.hooks.OnBlock(bid, m.now(), m.lbr) //ispy:alloc hook dispatch; hooks are nil in benchmarked runs
 	}
 
 	// Demand-fetch the block's instruction lines (span precomputed).
@@ -403,7 +404,7 @@ func (m *machine) execBlock(bid int, taken bool) {
 				m.cycleF += scaled
 				m.stallF += scaled
 				if m.hooks.OnMiss != nil && m.measured {
-					m.hooks.OnMiss(bid, int32(int64(line)-int64(p.addr)), m.now(), m.lbr)
+					m.hooks.OnMiss(bid, int32(int64(line)-int64(p.addr)), m.now(), m.lbr) //ispy:alloc hook dispatch; hooks are nil in benchmarked runs
 				}
 				if m.cfg.HWPrefetchWindow > 0 {
 					m.hwPrefetch(line)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"ispy/internal/cache"
 	"ispy/internal/cfg"
@@ -484,14 +485,9 @@ func ReadStats(r io.Reader) (*sim.Stats, error) {
 
 func sortedKeys(m map[int32]uint64) []int32 {
 	out := make([]int32, 0, len(m))
-	//ispy:ordered keys are totally ordered by the insertion sort below
 	for k := range m {
 		out = append(out, k)
 	}
-	for i := 1; i < len(out); i++ { // insertion sort; edge fan-outs are tiny
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.Sort(out)
 	return out
 }

@@ -1,0 +1,74 @@
+package vetting
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func loadCG(t *testing.T) []*Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	l.AddRoot("fixture", root)
+	p, err := l.Load("fixture/cg")
+	if err != nil {
+		t.Fatalf("loading fixture/cg: %v", err)
+	}
+	return []*Package{p}
+}
+
+// TestCallGraphEdges pins the exact resolved edge set for the dispatch
+// edge cases the engine must handle: interface dispatch with value- and
+// pointer-receiver implementers, method values, function-typed struct
+// fields, and recursion.
+func TestCallGraphEdges(t *testing.T) {
+	g := BuildCallGraph(loadCG(t))
+	want := []string{
+		"fixture/cg.CallIface -> (*fixture/cg.Cat).Sound [iface]",
+		"fixture/cg.CallIface -> (fixture/cg.Dog).Sound [iface]",
+		"fixture/cg.CallMethodValue -> (fixture/cg.Dog).Sound [dyn]",
+		"fixture/cg.CallMethodValue -> fixture/cg.MethodValue [static]",
+		"fixture/cg.Recurse -> fixture/cg.Recurse [static]",
+		"fixture/cg.UseField -> fixture/cg.Double [dyn]",
+	}
+	got := g.EdgeStrings()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("EdgeStrings() mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestResolveRoot covers both root spellings: a package function, a
+// concrete method, and an interface method (which must fan out to every
+// module implementer).
+func TestResolveRoot(t *testing.T) {
+	g := BuildCallGraph(loadCG(t))
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"fixture/cg.CallIface", []string{"fixture/cg.CallIface"}},
+		{"fixture/cg.Dog.Sound", []string{"(fixture/cg.Dog).Sound"}},
+		{"fixture/cg.Animal.Sound", []string{"(*fixture/cg.Cat).Sound", "(fixture/cg.Dog).Sound"}},
+	}
+	for _, c := range cases {
+		nodes, err := g.ResolveRoot(c.spec)
+		if err != nil {
+			t.Errorf("ResolveRoot(%q): %v", c.spec, err)
+			continue
+		}
+		var got []string
+		for _, n := range nodes {
+			got = append(got, n.String())
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ResolveRoot(%q) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+	if _, err := g.ResolveRoot("fixture/cg.NoSuchFunc"); err == nil {
+		t.Error("ResolveRoot of a missing function: want error, got nil")
+	}
+}

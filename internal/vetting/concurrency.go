@@ -52,8 +52,8 @@ func concPoolCtx(p *Package) []Diagnostic {
 					continue
 				}
 				if !identUsed(p, lit.Body, ctx) {
-					diags = append(diags, Diagnostic{p.Fset.Position(lit.Pos()), PassConcurrency,
-						fmt.Sprintf("pool task names its context parameter %q but never uses it; honor cancellation or use an unnamed parameter", ctx.Name())})
+					diags = append(diags, Diagnostic{Pos: p.Fset.Position(lit.Pos()), Pass: PassConcurrency,
+						Message: fmt.Sprintf("pool task names its context parameter %q but never uses it; honor cancellation or use an unnamed parameter", ctx.Name())})
 				}
 			}
 			return true
@@ -126,8 +126,8 @@ func identUsed(p *Package, body ast.Node, obj types.Object) bool {
 func concLockCopies(p *Package) []Diagnostic {
 	var diags []Diagnostic
 	report := func(pos token.Pos, what string, t types.Type) {
-		diags = append(diags, Diagnostic{p.Fset.Position(pos), PassConcurrency,
-			fmt.Sprintf("%s copies %s, which contains a lock", what, types.TypeString(t, nil))})
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(pos), Pass: PassConcurrency,
+			Message: fmt.Sprintf("%s copies %s, which contains a lock", what, types.TypeString(t, nil))})
 	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -274,8 +274,8 @@ func (p *Package) scanHeld(stmts []ast.Stmt, held map[string]token.Position) []D
 	var diags []Diagnostic
 	report := func(pos token.Pos, what string) {
 		for lock := range held {
-			diags = append(diags, Diagnostic{p.Fset.Position(pos), PassConcurrency,
-				fmt.Sprintf("%s while holding %s.Lock(); release before blocking", what, lock)})
+			diags = append(diags, Diagnostic{Pos: p.Fset.Position(pos), Pass: PassConcurrency,
+				Message: fmt.Sprintf("%s while holding %s.Lock(); release before blocking", what, lock)})
 		}
 	}
 	checkExpr := func(e ast.Expr) {

@@ -1,0 +1,98 @@
+// Forward dataflow on the lowered module: the per-function flow edges are
+// fused into one module-wide graph (the IR's keys are global — objects,
+// field-global fields, per-function result slots — so inter-procedural
+// propagation needs no call-site cloning) and reachability is a plain BFS.
+// The engine is a may-analysis: an edge means "may flow", and a pass
+// reports when a forbidden key is reachable from a source.
+package vetting
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// flowGraph is the module-wide value-flow graph.
+type flowGraph struct {
+	succ map[flowKey][]flowEdge
+}
+
+// buildFlowGraph fuses every function's flow edges into one graph. It
+// iterates nodes in the graph's deterministic order — edge order decides
+// which trace a diagnostic shows, and the analyzer's own output must be
+// reproducible.
+func buildFlowGraph(a *Analysis) *flowGraph {
+	g := &flowGraph{succ: make(map[flowKey][]flowEdge)}
+	for _, n := range a.graph.moduleNodes() {
+		ir := a.irs[n]
+		if ir == nil {
+			continue
+		}
+		for _, e := range ir.flows {
+			g.succ[e.src] = append(g.succ[e.src], e)
+		}
+	}
+	return g
+}
+
+// taintSource is one origin of taint with its human-readable description.
+type taintSource struct {
+	key  flowKey
+	pos  token.Position
+	what string
+}
+
+// taintState is the result of propagating a source set to fixpoint: for
+// every reached key, the step that tainted it (for diagnostics) and the
+// originating source.
+type taintState struct {
+	reached map[flowKey]taintTrace
+}
+
+type taintTrace struct {
+	src taintSource // the originating source
+	via token.Position
+}
+
+// propagate BFS-es the source set through the flow graph. Deterministic:
+// the frontier is a slice processed in insertion order and sources are
+// visited in the given order, so first-discovered traces are stable.
+func (g *flowGraph) propagate(sources []taintSource) *taintState {
+	st := &taintState{reached: make(map[flowKey]taintTrace)}
+	var frontier []flowKey
+	for _, s := range sources {
+		if _, ok := st.reached[s.key]; ok {
+			continue
+		}
+		st.reached[s.key] = taintTrace{src: s, via: s.pos}
+		frontier = append(frontier, s.key)
+	}
+	for len(frontier) > 0 {
+		k := frontier[0]
+		frontier = frontier[1:]
+		from := st.reached[k]
+		for _, e := range g.succ[k] {
+			if _, ok := st.reached[e.dst]; ok {
+				continue
+			}
+			st.reached[e.dst] = taintTrace{src: from.src, via: e.pos}
+			frontier = append(frontier, e.dst)
+		}
+	}
+	return st
+}
+
+// tainted reports whether any of the keys is reached, returning the first
+// hit's trace.
+func (st *taintState) tainted(keys []flowKey) (taintTrace, bool) {
+	for _, k := range keys {
+		if tr, ok := st.reached[k]; ok {
+			return tr, true
+		}
+	}
+	return taintTrace{}, false
+}
+
+// describe renders a trace for a diagnostic message.
+func (tr taintTrace) describe() string {
+	return fmt.Sprintf("%s (%s:%d)", tr.src.what, tr.src.pos.Filename, tr.src.pos.Line)
+}

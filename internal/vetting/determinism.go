@@ -48,8 +48,8 @@ func detImports(p *Package) []Diagnostic {
 		for _, imp := range f.Imports {
 			switch strings.Trim(imp.Path.Value, `"`) {
 			case "math/rand", "math/rand/v2":
-				diags = append(diags, Diagnostic{p.Fset.Position(imp.Pos()), PassDeterminism,
-					"import of math/rand in a deterministic package; use internal/rng (explicitly seeded, platform-stable)"})
+				diags = append(diags, Diagnostic{Pos: p.Fset.Position(imp.Pos()), Pass: PassDeterminism,
+					Message: "import of math/rand in a deterministic package; use internal/rng (explicitly seeded, platform-stable)"})
 			}
 		}
 	}
@@ -75,8 +75,8 @@ func detCalls(p *Package) []Diagnostic {
 		}
 		key := fn.Pkg().Path() + "." + fn.Name()
 		if why, bad := detForbiddenCalls[key]; bad {
-			diags = append(diags, Diagnostic{p.Fset.Position(id.Pos()), PassDeterminism,
-				fmt.Sprintf("call to %s (%s) in a deterministic package", key, why)})
+			diags = append(diags, Diagnostic{Pos: p.Fset.Position(id.Pos()), Pass: PassDeterminism,
+				Message: fmt.Sprintf("call to %s (%s) in a deterministic package", key, why)})
 		}
 	}
 	return diags
@@ -102,12 +102,13 @@ func detMapRanges(p *Package, ws *waiverSet) []Diagnostic {
 				return
 			}
 			pos := p.Fset.Position(rs.For)
-			if ws.waived(PassDeterminism, pos) {
+			d := Diagnostic{Pos: pos, Pass: PassDeterminism,
+				Message: fmt.Sprintf("range over map %s has order-dependent effects (%s); iterate a sorted key slice or waive with //ispy:ordered <reason>",
+					types.ExprString(rs.X), detail)}
+			if ws.waive(d) {
 				return
 			}
-			diags = append(diags, Diagnostic{pos, PassDeterminism,
-				fmt.Sprintf("range over map %s has order-dependent effects (%s); iterate a sorted key slice or waive with //ispy:ordered <reason>",
-					types.ExprString(rs.X), detail)})
+			diags = append(diags, d)
 		})
 	}
 	return diags

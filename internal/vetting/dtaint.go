@@ -1,0 +1,161 @@
+// The dtaint pass: prove map-iteration order cannot reach an output. The
+// determinism pass (PR 4) flags order-dependent map ranges locally; this
+// pass closes the loop end-to-end — every order-dependent effect of a map
+// range (including ranges excused with //ispy:ordered, whose waiver asserts
+// intent, not order-freedom) becomes a taint source, taint propagates
+// through the module-wide flow graph (assignments, fields, slices, channel
+// sends, calls, returns), and a finding fires when taint reaches:
+//
+//   - an exported field of a StatsRule type (sim.Stats feeds the golden
+//     comparison — order-dependence there breaks bit-identical replay);
+//   - a parameter of an exported function or method of a sink package
+//     (traceio serializes artifacts; metrics renders report rows).
+//
+// `//ispy:dtaint <reason>` at the flagged line waives one finding. Known
+// under-approximations, by design: map stores through computed keys have
+// set semantics and are not sources; closure bodies inside a range body are
+// not scanned for order effects.
+package vetting
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// checkDTaint runs the order-taint proof over the analysis.
+func checkDTaint(a *Analysis, cfg Config, ws *waiverSet) []Diagnostic {
+	if len(cfg.StatsRules) == 0 && len(cfg.SinkPkgs) == 0 {
+		return nil
+	}
+	sources := taintSources(a)
+	if len(sources) == 0 {
+		return nil
+	}
+	st := buildFlowGraph(a).propagate(sources)
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) {
+		if !ws.waive(d) {
+			diags = append(diags, d)
+		}
+	}
+
+	// Sink 1: exported fields of the StatsRule types.
+	for _, rule := range cfg.StatsRules {
+		for _, f := range ruleFields(a.pkgs, rule) {
+			tr, ok := st.tainted([]flowKey{fieldK(f)})
+			if !ok {
+				continue
+			}
+			report(Diagnostic{Pos: tr.via, Pass: PassDTaint,
+				Message: fmt.Sprintf("map-iteration order reaches exported field %s.%s: %s",
+					rule.Type, f.Name(), tr.describe())})
+		}
+	}
+
+	// Sink 2: calls into the exported API of a sink package with a tainted
+	// argument. Checked per call site, so every offending call gets its own
+	// finding (and its own waiver); calls from inside the sink package are
+	// its own plumbing and exempt.
+	sinkSet := make(map[string]bool, len(cfg.SinkPkgs))
+	for _, p := range cfg.SinkPkgs {
+		sinkSet[p] = true
+	}
+	for _, n := range a.graph.moduleNodes() {
+		ir := a.irs[n]
+		if ir == nil {
+			continue
+		}
+		callerPkg := ""
+		if n.Pkg != nil {
+			callerPkg = n.Pkg.Path
+		}
+		for _, rec := range ir.calls {
+			for _, to := range rec.site.Targets {
+				if to.Fn == nil || to.Fn.Pkg() == nil {
+					continue
+				}
+				tp := to.Fn.Pkg().Path()
+				if !sinkSet[tp] || tp == callerPkg || !to.Fn.Exported() {
+					continue
+				}
+				for i, keys := range rec.argKeys {
+					tr, ok := st.tainted(keys)
+					if !ok {
+						continue
+					}
+					report(Diagnostic{Pos: rec.site.Pos, Pass: PassDTaint,
+						Message: fmt.Sprintf("map-iteration order flows into %s (argument %s): %s",
+							to.String(), paramName(to.Sig(), i), tr.describe())})
+					break // one finding per call site and target
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// paramName names the parameter an argument binds to (the last parameter
+// absorbs variadic overflow); a blank or absent name falls back to "#i".
+func paramName(sig *types.Signature, i int) string {
+	if sig != nil && sig.Params().Len() > 0 {
+		pi := i
+		if pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if name := sig.Params().At(pi).Name(); name != "" && name != "_" {
+			return name
+		}
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// taintSources collects the order-dependent effects of every map range in
+// the module, in deterministic node order.
+func taintSources(a *Analysis) []taintSource {
+	var out []taintSource
+	for _, n := range a.graph.moduleNodes() {
+		ir := a.irs[n]
+		if ir == nil {
+			continue
+		}
+		for _, mr := range ir.mapRanges {
+			note := "map-iteration order"
+			if mr.waived {
+				note = "map-iteration order at waived //ispy:ordered site"
+			}
+			for _, ef := range mr.effects {
+				out = append(out, taintSource{
+					key:  ef.key,
+					pos:  ef.pos,
+					what: fmt.Sprintf("%s: %s", note, ef.what),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ruleFields resolves a StatsRule to the exported fields of its struct, in
+// declaration order.
+func ruleFields(pkgs []*Package, rule StatsRule) []*types.Var {
+	p := findPackage(pkgs, rule.PkgPath)
+	if p == nil {
+		return nil
+	}
+	obj := p.Types.Scope().Lookup(rule.Type)
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			out = append(out, f)
+		}
+	}
+	return out
+}

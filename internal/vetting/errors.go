@@ -49,11 +49,12 @@ func (p *Package) droppedError(call *ast.CallExpr, ws *waiverSet, format string)
 		return nil
 	}
 	pos := p.Fset.Position(call.Pos())
-	if ws.waived(PassErrors, pos) {
+	d := Diagnostic{Pos: pos, Pass: PassErrors,
+		Message: fmt.Sprintf(format, types.ExprString(call.Fun))}
+	if ws.waive(d) {
 		return nil
 	}
-	return []Diagnostic{{pos, PassErrors,
-		fmt.Sprintf(format, types.ExprString(call.Fun))}}
+	return []Diagnostic{d}
 }
 
 // blankError reports `_` bound to an error-typed position. The comma-ok
@@ -78,11 +79,12 @@ func (p *Package) blankError(n *ast.AssignStmt, ws *waiverSet) []Diagnostic {
 			continue
 		}
 		pos := p.Fset.Position(lhs.Pos())
-		if ws.waived(PassErrors, pos) {
+		d := Diagnostic{Pos: pos, Pass: PassErrors,
+			Message: "error assigned to blank identifier; check it or waive with //ispy:errok <reason>"}
+		if ws.waive(d) {
 			continue
 		}
-		diags = append(diags, Diagnostic{pos, PassErrors,
-			"error assigned to blank identifier; check it or waive with //ispy:errok <reason>"})
+		diags = append(diags, d)
 	}
 	return diags
 }

@@ -48,8 +48,8 @@ func freezeFile(p *Package, rule FreezeRule, ws *waiverSet) []Diagnostic {
 		}
 	}
 	if frozen == nil {
-		return []Diagnostic{{p.Fset.Position(p.Files[0].Pos()), PassFreeze,
-			fmt.Sprintf("freeze rule names %s/%s but the file does not exist", rule.PkgPath, rule.File)}}
+		return []Diagnostic{{Pos: p.Fset.Position(p.Files[0].Pos()), Pass: PassFreeze,
+			Message: fmt.Sprintf("freeze rule names %s/%s but the file does not exist", rule.PkgPath, rule.File)}}
 	}
 
 	var diags []Diagnostic
@@ -73,12 +73,13 @@ func freezeFile(p *Package, rule FreezeRule, ws *waiverSet) []Diagnostic {
 			return true
 		}
 		seen[key] = true
-		if ws.waived(PassFreeze, pos) {
+		d := Diagnostic{Pos: pos, Pass: PassFreeze,
+			Message: fmt.Sprintf("frozen %s references %s declared in fast-path file %s; the golden oracle must not depend on the code it checks",
+				rule.File, obj.Name(), declFile)}
+		if ws.waive(d) {
 			return true
 		}
-		diags = append(diags, Diagnostic{pos, PassFreeze,
-			fmt.Sprintf("frozen %s references %s declared in fast-path file %s; the golden oracle must not depend on the code it checks",
-				rule.File, obj.Name(), declFile)})
+		diags = append(diags, d)
 		return true
 	})
 	return diags

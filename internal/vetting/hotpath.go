@@ -1,0 +1,158 @@
+// The hotpath pass: prove the steady-state simulator kernel heap-allocation
+// free. Starting from the configured roots (sim.Run, the BatchSource
+// producers, the cache probe methods) it walks the call graph and reports
+// every hazard the IR recorded in a reachable function — makes, escaping
+// composite literals, append growth, map touches, interface boxing, string
+// building, closures, defers — plus calls that leave the proved region:
+// external packages outside the pure allowlist, calls through function
+// values, and interface calls with no module implementation.
+//
+// Waivers scope the proof rather than punch silent holes in it:
+//
+//   - `//ispy:alloc <reason>` on a function *declaration* excludes the whole
+//     function and everything only it reaches (the setup/warmup idiom —
+//     newMachine builds plans and buffers once per run);
+//   - the same directive on an individual site excuses just that site (the
+//     hook-dispatch calls in execBlock);
+//   - allocation inside panic() arguments is skipped outright: a death path
+//     is never steady state.
+package vetting
+
+import (
+	"fmt"
+	"strings"
+)
+
+// checkHotPath runs the allocation/purity proof over the analysis.
+func checkHotPath(a *Analysis, cfg Config, ws *waiverSet) []Diagnostic {
+	if len(cfg.HotPathRoots) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	hp := &hotPath{
+		a:       a,
+		ws:      ws,
+		pure:    cfg.PureExternal,
+		rootOf:  make(map[*Node]string),
+		visited: make(map[*Node]bool),
+	}
+	for _, spec := range cfg.HotPathRoots {
+		roots, err := a.graph.ResolveRoot(spec)
+		if err != nil {
+			diags = append(diags, Diagnostic{Pass: PassHotPath,
+				Message: fmt.Sprintf("bad hot-path root %q: %v", spec, err)})
+			continue
+		}
+		for _, r := range roots {
+			hp.visit(r, spec)
+		}
+	}
+	diags = append(diags, hp.diags...)
+	return diags
+}
+
+type hotPath struct {
+	a       *Analysis
+	ws      *waiverSet
+	pure    []string
+	rootOf  map[*Node]string // first root that reached the node
+	visited map[*Node]bool
+	diags   []Diagnostic
+}
+
+// visit walks the call graph depth-first from n.
+func (hp *hotPath) visit(n *Node, root string) {
+	if hp.visited[n] {
+		return
+	}
+	hp.visited[n] = true
+	hp.rootOf[n] = root
+
+	// A waiver on the declaration line excludes the whole subtree.
+	if n.Decl != nil && hp.ws.waive(Diagnostic{
+		Pos:  n.Pkg.Fset.Position(n.Decl.Pos()),
+		Pass: PassHotPath,
+		Message: fmt.Sprintf("hot path: %s performs setup work (reachable from %s)",
+			n.String(), root),
+	}) {
+		return
+	}
+
+	ir := hp.a.irOf(n)
+	if ir != nil {
+		for _, al := range ir.allocs {
+			if al.inPanic {
+				continue // death path
+			}
+			hp.report(Diagnostic{Pos: al.pos, Pass: PassHotPath,
+				Message: fmt.Sprintf("hot path: %s in %s (reachable from %s): %s",
+					al.kind, n.String(), root, al.detail)})
+		}
+	}
+
+	for _, site := range n.Sites {
+		if site.InPanic {
+			continue // death path, never steady state
+		}
+		switch site.Kind {
+		case EdgeDyn:
+			// A call through a function value: the target set is a
+			// signature-keyed guess, so the site itself must be waived and
+			// the guessed targets are not descended into.
+			hp.report(Diagnostic{Pos: site.Pos, Pass: PassHotPath,
+				Message: fmt.Sprintf("hot path: call through function value %s in %s (reachable from %s)",
+					site.Desc, n.String(), root)})
+		case EdgeIface:
+			if len(site.Targets) == 0 {
+				hp.report(Diagnostic{Pos: site.Pos, Pass: PassHotPath,
+					Message: fmt.Sprintf("hot path: interface call %s in %s has no module implementation (reachable from %s)",
+						site.Desc, n.String(), root)})
+				continue
+			}
+			for _, to := range site.Targets {
+				hp.descend(site, to, n, root)
+			}
+		default:
+			for _, to := range site.Targets {
+				hp.descend(site, to, n, root)
+			}
+		}
+	}
+}
+
+// descend follows one resolved target, checking the external allowlist at
+// the module boundary.
+func (hp *hotPath) descend(site *CallSite, to, from *Node, root string) {
+	if to.External() {
+		path := ""
+		if to.Fn != nil && to.Fn.Pkg() != nil {
+			path = to.Fn.Pkg().Path()
+		}
+		if !hp.pureAllowed(path) {
+			hp.report(Diagnostic{Pos: site.Pos, Pass: PassHotPath,
+				Message: fmt.Sprintf("hot path: call to external %s in %s (reachable from %s); not in the pure allowlist",
+					to.String(), from.String(), root)})
+		}
+		return
+	}
+	hp.visit(to, root)
+}
+
+// pureAllowed reports whether an external import path is allowlisted
+// (exact match or a "prefix/..." subtree).
+func (hp *hotPath) pureAllowed(path string) bool {
+	for _, p := range hp.pure {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// report emits a finding unless a site waiver covers it.
+func (hp *hotPath) report(d Diagnostic) {
+	if hp.ws.waive(d) {
+		return
+	}
+	hp.diags = append(hp.diags, d)
+}

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -50,13 +51,47 @@ type loadEntry struct {
 	loading bool
 }
 
+// The GOROOT source importer is the expensive part of a load — it
+// type-checks standard-library packages from source. Every Loader shares
+// one importer instance (and therefore one *token.FileSet, which the
+// imported packages' positions are bound to), so the stdlib is checked once
+// per process no matter how many loads the tests and passes perform. The
+// source importer memoizes internally but is not safe for concurrent use;
+// the shared mutex serializes it.
+var shared struct {
+	once sync.Once
+	mu   sync.Mutex
+	fset *token.FileSet
+	std  types.ImporterFrom
+}
+
+func sharedImporter() (*token.FileSet, types.ImporterFrom) {
+	shared.once.Do(func() {
+		shared.fset = token.NewFileSet()
+		shared.std = importer.ForCompiler(shared.fset, "source", nil).(types.ImporterFrom)
+	})
+	return shared.fset, lockedImporter{}
+}
+
+// lockedImporter delegates to the shared source importer under its mutex.
+type lockedImporter struct{}
+
+func (lockedImporter) Import(path string) (*types.Package, error) {
+	return lockedImporter{}.ImportFrom(path, "", 0)
+}
+
+func (lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	return shared.std.ImportFrom(path, dir, mode)
+}
+
 // NewLoader returns an empty loader; register module roots with AddRoot (or
-// use LoadModule) before loading.
+// use LoadModule) before loading. Loaders share one process-wide file set
+// and GOROOT importer (see sharedImporter).
 func NewLoader() *Loader {
-	fset := token.NewFileSet()
-	l := &Loader{fset: fset, pkgs: make(map[string]*loadEntry)}
-	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
-	return l
+	fset, std := sharedImporter()
+	return &Loader{fset: fset, std: std, pkgs: make(map[string]*loadEntry)}
 }
 
 // Fset returns the loader's shared file set.

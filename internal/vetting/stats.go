@@ -32,13 +32,13 @@ func statsRule(pkgs []*Package, rule StatsRule) []Diagnostic {
 	}
 	obj := home.Types.Scope().Lookup(rule.Type)
 	if obj == nil {
-		return []Diagnostic{{token.Position{Filename: rule.PkgPath}, PassStats,
-			fmt.Sprintf("stats rule names %s.%s but the type does not exist", rule.PkgPath, rule.Type)}}
+		return []Diagnostic{{Pos: token.Position{Filename: rule.PkgPath}, Pass: PassStats,
+			Message: fmt.Sprintf("stats rule names %s.%s but the type does not exist", rule.PkgPath, rule.Type)}}
 	}
 	st, ok := obj.Type().Underlying().(*types.Struct)
 	if !ok {
-		return []Diagnostic{{home.Fset.Position(obj.Pos()), PassStats,
-			fmt.Sprintf("stats rule names %s.%s but it is not a struct", rule.PkgPath, rule.Type)}}
+		return []Diagnostic{{Pos: home.Fset.Position(obj.Pos()), Pass: PassStats,
+			Message: fmt.Sprintf("stats rule names %s.%s but it is not a struct", rule.PkgPath, rule.Type)}}
 	}
 
 	fields := make(map[*types.Var]bool) // field → seen outside home package
@@ -85,8 +85,8 @@ func statsRule(pkgs []*Package, rule StatsRule) []Diagnostic {
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
 		if seen, tracked := fields[f]; tracked && !seen {
-			diags = append(diags, Diagnostic{home.Fset.Position(f.Pos()), PassStats,
-				fmt.Sprintf("exported field %s.%s is never read outside %s; new counters must reach the serializer or a report",
+			diags = append(diags, Diagnostic{Pos: home.Fset.Position(f.Pos()), Pass: PassStats,
+				Message: fmt.Sprintf("exported field %s.%s is never read outside %s; new counters must reach the serializer or a report",
 					rule.Type, f.Name(), rule.PkgPath)})
 		}
 	}

@@ -1,0 +1,64 @@
+// Package cg exercises call-graph construction: interface dispatch with
+// multiple module implementers, method values, function-typed struct
+// fields, and recursion. callgraph_test.go asserts the exact edge set —
+// there are no // want comments here.
+package cg
+
+// Animal is implemented by Dog (value receiver) and Cat (pointer
+// receiver); an interface call must resolve to both.
+type Animal interface {
+	Sound() string
+}
+
+// Dog implements Animal on the value type.
+type Dog struct{}
+
+// Sound returns the dog's sound.
+func (Dog) Sound() string { return "woof" }
+
+// Cat implements Animal on the pointer type only.
+type Cat struct{}
+
+// Sound returns the cat's sound.
+func (*Cat) Sound() string { return "meow" }
+
+// CallIface dispatches through the interface: edges to both implementers.
+func CallIface(a Animal) string { return a.Sound() }
+
+// Handler carries a function-typed field.
+type Handler struct {
+	Fn func(int) int
+}
+
+// Double is address-taken (stored into Handler.Fn by MakeHandler), so it
+// is a dynamic-call candidate for any func(int) int site.
+func Double(x int) int { return x + x }
+
+// MakeHandler stores Double into the field; no call edges of its own.
+func MakeHandler() Handler { return Handler{Fn: Double} }
+
+// UseField calls through the field: a dynamic edge to Double.
+func UseField(h Handler) int { return h.Fn(3) }
+
+// MethodValue returns a bound method value, making (Dog).Sound
+// address-taken.
+func MethodValue() func() string {
+	d := Dog{}
+	return d.Sound
+}
+
+// CallMethodValue calls the method value: a static edge to MethodValue
+// and a dynamic edge to (Dog).Sound. (*Cat).Sound is never address-taken,
+// so it is not a candidate.
+func CallMethodValue() string {
+	f := MethodValue()
+	return f()
+}
+
+// Recurse calls itself: a static self-edge.
+func Recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Recurse(n - 1)
+}

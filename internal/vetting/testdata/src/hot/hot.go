@@ -1,0 +1,86 @@
+// Package hot exercises the hotpath pass: every hazard kind in a function
+// reachable from the fixture roots (Run, Src.NextN), a declaration-waived
+// setup function whose subtree is excluded, a site-waived allocation, and
+// an unreachable allocating function that must produce no finding.
+package hot
+
+import (
+	"math"
+	"strconv"
+)
+
+// Src is a concrete batch producer; NextN is a configured root and is
+// allocation-free.
+type Src struct{ i int32 }
+
+// NextN fills ids with block IDs.
+func (s *Src) NextN(ids []int32) int {
+	s.i++
+	ids[0] = s.i
+	return 1
+}
+
+// Setup builds the per-run buffers. The declaration waiver excludes the
+// whole function (and anything only it reaches) from the proof.
+//
+//ispy:alloc fixture: one-time setup, runs before the measured region
+func Setup() []int {
+	return onlySetupReaches()
+}
+
+// onlySetupReaches allocates but is reachable only through the waived
+// Setup, so the subtree exclusion must cover it: no finding.
+func onlySetupReaches() []int {
+	return make([]int, 64)
+}
+
+var table = map[int]int{1: 2, 3: 4}
+
+type pair struct{ a int }
+
+// Run is the fixture hot-path root.
+func Run(n int) int {
+	buf := Setup()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += step(i, buf)
+	}
+	return total
+}
+
+func step(i int, buf []int) int {
+	b := make([]byte, i) // want `hot path: make`
+	buf = append(buf, i) // want `append \(may grow\)`
+	v := table[i]        // want `map access`
+	p := &pair{a: i}     // want `escaping composite literal`
+	s := "x" + name(i)   // want `string concatenation/conversion`
+	_ = strconv.Itoa(i)  // want `not in the pure allowlist`
+	_ = math.Sqrt(float64(i))
+	sink(i)                      // want `interface conversion \(boxes the value\)`
+	f := func() int { return i } // want `closure allocation`
+	total := f()                 // want `call through function value`
+	for k := range table {       // want `map iteration`
+		_ = k
+	}
+	defer done()        // want `hot path: defer`
+	w := make([]int, 4) //ispy:alloc fixture: warmup buffer, amortized before measurement
+	_ = w
+	_ = b
+	_ = s
+	_ = p
+	return len(buf) + v + total
+}
+
+func name(i int) string {
+	if i > 0 {
+		return "pos"
+	}
+	return "neg"
+}
+
+func sink(v any) { _ = v }
+
+func done() {}
+
+// unreachable allocates but no root reaches it: no finding.
+func unreachable() []byte { return make([]byte, 9) }

@@ -1,0 +1,112 @@
+// Package taint exercises the dtaint pass: map-iteration order flowing
+// into the fixture Stats type and the taintsink package — directly,
+// through a helper's return value, and through a channel — plus the
+// negative cases (collect-then-sort, guarded extremum, commutative
+// integer accumulation) and both waiver interactions: //ispy:ordered
+// silences the determinism finding but the site still taints, and
+// //ispy:dtaint waives one sink finding.
+package taint
+
+import (
+	"sort"
+
+	"fixture/statsdef"
+	"fixture/taintsink"
+)
+
+var m = map[string]int{"a": 1, "b": 2}
+var m2 = map[int]int{1: 2}
+
+// SerializeUnsorted hands iteration-ordered data to the sink.
+func SerializeUnsorted() {
+	var keys []int
+	for _, v := range m { // want `no subsequent sort`
+		keys = append(keys, v)
+	}
+	taintsink.Write(keys) // want `map-iteration order flows into fixture/taintsink.Write`
+}
+
+// SerializeSorted is the sanctioned idiom: sorting launders the order.
+func SerializeSorted() {
+	var keys []int
+	for _, v := range m {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	taintsink.Write(keys)
+}
+
+// Last shows that an //ispy:ordered waiver asserts intent, not
+// order-freedom: the determinism finding is waived, the taint remains.
+func Last() {
+	last := 0
+	//ispy:ordered fixture: consumers accept any representative value
+	for _, v := range m {
+		last = v
+	}
+	taintsink.Render("last", last) // want `fixture/taintsink.Render .*waived //ispy:ordered`
+}
+
+// FillStats writes an order-dependent value into an exported Stats field.
+func FillStats() statsdef.Stats {
+	var s statsdef.Stats
+	for k := range m2 { // want `order-dependent effects`
+		s.A = k // want `map-iteration order reaches exported field Stats.A`
+	}
+	return s
+}
+
+// Indirect taints through a helper's return value.
+func Indirect() {
+	vals := collect()
+	taintsink.Write(vals) // want `map-iteration order flows into fixture/taintsink.Write`
+}
+
+func collect() []int {
+	var out []int
+	for _, v := range m { // want `no subsequent sort`
+		out = append(out, v)
+	}
+	return out
+}
+
+// MaxToSink uses the guarded-extremum idiom: the result is order-free, so
+// no taint reaches the sink (the determinism pass still flags the store).
+func MaxToSink() {
+	best := 0
+	for _, v := range m { // want `order-dependent effects`
+		if v > best {
+			best = v
+		}
+	}
+	taintsink.Render("max", best)
+}
+
+// SumToSink commutes exactly: no findings at all.
+func SumToSink() {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	taintsink.Write([]int{n})
+}
+
+// ChanHop routes the taint through a channel send and receive.
+func ChanHop(c chan int) {
+	last := 0
+	for _, v := range m { // want `order-dependent effects`
+		last = v
+	}
+	c <- last
+	got := <-c
+	taintsink.Render("chan", got) // want `map-iteration order flows into fixture/taintsink.Render`
+}
+
+// WaivedSink sanctions one order-dependent artifact explicitly.
+func WaivedSink() {
+	var keys []int
+	for _, v := range m { // want `no subsequent sort`
+		keys = append(keys, v)
+	}
+	taintsink.Write(keys) //ispy:dtaint fixture: artifact is consumed as a set downstream
+}

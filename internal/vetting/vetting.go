@@ -47,6 +47,8 @@ const (
 	PassStats       = "stats"
 	PassConcurrency = "concurrency"
 	PassErrors      = "errors"
+	PassHotPath     = "hotpath"
+	PassDTaint      = "dtaint"
 	PassWaiver      = "waiver"
 )
 
@@ -55,6 +57,8 @@ type Diagnostic struct {
 	Pos     token.Position
 	Pass    string
 	Message string
+	// Advisory findings (stale waivers) fail the gate only under -strict.
+	Advisory bool
 }
 
 // String renders the diagnostic in the gate's canonical
@@ -93,6 +97,17 @@ type Config struct {
 	FreezeRules []FreezeRule
 	// StatsRules are the exhaustiveness rules.
 	StatsRules []StatsRule
+	// HotPathRoots are the entry points (pkgpath.Func, pkgpath.Type.Method;
+	// an interface method expands to every module implementation) from which
+	// the hotpath pass proves the steady-state kernel allocation-free.
+	HotPathRoots []string
+	// PureExternal are import-path prefixes of external packages the hot
+	// path may call (pure, non-allocating).
+	PureExternal []string
+	// SinkPkgs are import paths whose API calls count as dtaint sinks
+	// (serialized artifacts, rendered report rows) in addition to the
+	// exported fields of the StatsRules types.
+	SinkPkgs []string
 }
 
 // DefaultConfig returns the repository's rules: the deterministic layers
@@ -136,18 +151,34 @@ func DefaultConfig() Config {
 		StatsRules: []StatsRule{
 			{PkgPath: "ispy/internal/sim", Type: "Stats"},
 		},
+		HotPathRoots: []string{
+			"ispy/internal/sim.Run",
+			"ispy/internal/sim.BatchSource.NextN",
+			"ispy/internal/cache.Hierarchy.FetchI",
+			"ispy/internal/cache.Hierarchy.PrefetchI",
+		},
+		PureExternal: []string{"math", "math/bits"},
+		SinkPkgs: []string{
+			"ispy/internal/traceio",
+			"ispy/internal/metrics",
+		},
 	}
 }
 
 // Result is one analyzer run's findings plus the waivers in effect.
 type Result struct {
-	Diags   []Diagnostic
-	Waivers []*Waiver
+	Diags []Diagnostic
+	// Suppressed are findings a waiver silenced (reported by -json with
+	// waived:true so the annotation burden stays visible).
+	Suppressed []Diagnostic
+	Waivers    []*Waiver
 }
 
 // Run executes every pass over the loaded packages and returns the sorted
 // findings. Waivers are collected from all packages first so each pass can
 // consult them; unused and malformed waivers become diagnostics themselves.
+// The inter-procedural passes (hotpath, dtaint) share one Analysis — the
+// call graph and IR are built once per run.
 func Run(pkgs []*Package, cfg Config) *Result {
 	ws := collectWaivers(pkgs)
 	var diags []Diagnostic
@@ -156,9 +187,15 @@ func Run(pkgs []*Package, cfg Config) *Result {
 	diags = append(diags, checkStats(pkgs, cfg)...)
 	diags = append(diags, checkConcurrency(pkgs)...)
 	diags = append(diags, checkErrors(pkgs, cfg, ws)...)
+	if len(cfg.HotPathRoots) > 0 || len(cfg.StatsRules) > 0 || len(cfg.SinkPkgs) > 0 {
+		a := NewAnalysis(pkgs, ws)
+		diags = append(diags, checkHotPath(a, cfg, ws)...)
+		diags = append(diags, checkDTaint(a, cfg, ws)...)
+	}
 	diags = append(diags, ws.diags()...)
 	sortDiags(diags)
-	return &Result{Diags: diags, Waivers: ws.all}
+	sortDiags(ws.suppressed)
+	return &Result{Diags: diags, Suppressed: ws.suppressed, Waivers: ws.all}
 }
 
 // sortDiags orders findings by position then pass then message, so output

@@ -10,7 +10,7 @@ import (
 // fixtureConfig mirrors DefaultConfig's shape against the fixture module
 // under testdata/src.
 var fixtureConfig = Config{
-	DeterministicPkgs: []string{"fixture/det"},
+	DeterministicPkgs: []string{"fixture/det", "fixture/taint"},
 	ErrorPkgs:         []string{"fixture/errs"},
 	FreezeRules: []FreezeRule{
 		{PkgPath: "fixture/freezefix", File: "reference.go", Forbidden: []string{"plan.go"}},
@@ -18,6 +18,9 @@ var fixtureConfig = Config{
 	StatsRules: []StatsRule{
 		{PkgPath: "fixture/statsdef", Type: "Stats"},
 	},
+	HotPathRoots: []string{"fixture/hot.Run", "fixture/hot.Src.NextN"},
+	PureExternal: []string{"math"},
+	SinkPkgs:     []string{"fixture/taintsink"},
 }
 
 var fixturePkgs = []string{
@@ -28,6 +31,9 @@ var fixturePkgs = []string{
 	"fixture/internal/experiments",
 	"fixture/conc",
 	"fixture/errs",
+	"fixture/hot",
+	"fixture/taint",
+	"fixture/taintsink",
 }
 
 func loadFixtures(t *testing.T) []*Package {
@@ -111,16 +117,18 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestWaiverAccounting pins the waiver ledger for the fixtures: four
-// well-formed waivers (malformed directives are diagnostics, not waivers),
-// of which exactly one — the one on a clean line — is unused.
+// TestWaiverAccounting pins the waiver ledger for the fixtures: eight
+// well-formed waivers (malformed directives are diagnostics, not waivers)
+// — the four PR 4 fixtures plus hot's declaration and site //ispy:alloc
+// pair, taint's //ispy:ordered, and taint's //ispy:dtaint — of which
+// exactly one (the one on a clean line) is unused.
 func TestWaiverAccounting(t *testing.T) {
 	res := Run(loadFixtures(t), fixtureConfig)
-	if got := len(res.Waivers); got != 4 {
+	if got := len(res.Waivers); got != 8 {
 		for _, w := range res.Waivers {
 			t.Logf("waiver: %s:%d //ispy:%s %s", w.Pos.Filename, w.Pos.Line, w.Directive, w.Reason)
 		}
-		t.Fatalf("got %d waivers, want 4", got)
+		t.Fatalf("got %d waivers, want 8", got)
 	}
 	unused := 0
 	for _, w := range res.Waivers {

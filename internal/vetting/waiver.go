@@ -19,12 +19,16 @@ const (
 	DirectiveOrdered = "ordered" // determinism: map range is order-free
 	DirectiveXref    = "xref"    // freeze: sanctioned fast-path reference
 	DirectiveErrOK   = "errok"   // errors: dropped error is intentional
+	DirectiveAlloc   = "alloc"   // hotpath: deliberate warmup/setup allocation
+	DirectiveDTaint  = "dtaint"  // dtaint: order-dependence at this sink is benign
 )
 
 var directivePass = map[string]string{
 	DirectiveOrdered: PassDeterminism,
 	DirectiveXref:    PassFreeze,
 	DirectiveErrOK:   PassErrors,
+	DirectiveAlloc:   PassHotPath,
+	DirectiveDTaint:  PassDTaint,
 }
 
 // Waiver is one parsed //ispy: directive.
@@ -37,9 +41,10 @@ type Waiver struct {
 }
 
 type waiverSet struct {
-	byLine map[string]map[int]*Waiver // file → line → waiver
-	all    []*Waiver
-	bad    []Diagnostic
+	byLine     map[string]map[int]*Waiver // file → line → waiver
+	all        []*Waiver
+	bad        []Diagnostic
+	suppressed []Diagnostic // findings a waiver silenced (for -json waived:true)
 }
 
 func collectWaivers(pkgs []*Package) *waiverSet {
@@ -67,18 +72,18 @@ func (ws *waiverSet) add(pos token.Position, text string) {
 	}
 	fields := strings.Fields(body)
 	if len(fields) == 0 {
-		ws.bad = append(ws.bad, Diagnostic{pos, PassWaiver, "empty //ispy: directive"})
+		ws.bad = append(ws.bad, Diagnostic{Pos: pos, Pass: PassWaiver, Message: "empty //ispy: directive"})
 		return
 	}
 	pass, known := directivePass[fields[0]]
 	if !known {
-		ws.bad = append(ws.bad, Diagnostic{pos, PassWaiver,
-			fmt.Sprintf("unknown directive //ispy:%s (known: ordered, xref, errok)", fields[0])})
+		ws.bad = append(ws.bad, Diagnostic{Pos: pos, Pass: PassWaiver,
+			Message: fmt.Sprintf("unknown directive //ispy:%s (known: ordered, xref, errok, alloc, dtaint)", fields[0])})
 		return
 	}
 	if len(fields) == 1 {
-		ws.bad = append(ws.bad, Diagnostic{pos, PassWaiver,
-			fmt.Sprintf("//ispy:%s needs a reason", fields[0])})
+		ws.bad = append(ws.bad, Diagnostic{Pos: pos, Pass: PassWaiver,
+			Message: fmt.Sprintf("//ispy:%s needs a reason", fields[0])})
 		return
 	}
 	w := &Waiver{
@@ -109,13 +114,37 @@ func (ws *waiverSet) waived(pass string, pos token.Position) bool {
 	return false
 }
 
+// hasWaiver peeks for a waiver without marking it used — for passes that
+// need to know a site is annotated (e.g. a waived //ispy:ordered range is
+// still a taint source) without claiming the waiver themselves.
+func (ws *waiverSet) hasWaiver(pass string, pos token.Position) bool {
+	lines := ws.byLine[pos.Filename]
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		if w := lines[ln]; w != nil && w.Pass == pass {
+			return true
+		}
+	}
+	return false
+}
+
+// waive is the diagnostic-level form of waived: when a waiver covers the
+// finding it is recorded as suppressed (so -json can report it with
+// waived:true) and true is returned; otherwise the caller should emit it.
+func (ws *waiverSet) waive(d Diagnostic) bool {
+	if !ws.waived(d.Pass, d.Pos) {
+		return false
+	}
+	ws.suppressed = append(ws.suppressed, d)
+	return true
+}
+
 // diags returns malformed-directive and stale-waiver findings.
 func (ws *waiverSet) diags() []Diagnostic {
 	out := append([]Diagnostic(nil), ws.bad...)
 	for _, w := range ws.all {
 		if !w.Used {
-			out = append(out, Diagnostic{w.Pos, PassWaiver,
-				fmt.Sprintf("unused //ispy:%s waiver: nothing to waive on this line", w.Directive)})
+			out = append(out, Diagnostic{Pos: w.Pos, Pass: PassWaiver, Advisory: true,
+				Message: fmt.Sprintf("unused //ispy:%s waiver: nothing to waive on this line", w.Directive)})
 		}
 	}
 	sort.Slice(ws.all, func(i, j int) bool {

@@ -181,12 +181,12 @@ func (e *Executor) advance() {
 			e.takenInto = false
 		}
 	case FlowCall:
-		e.stack = append(e.stack, f.Succ[0])
+		e.stack = append(e.stack, f.Succ[0]) //ispy:alloc call-stack growth; capacity amortizes during warmup
 		e.cur = f.CallEntry
 		e.takenInto = true
 	case FlowIndirectCall:
-		e.stack = append(e.stack, f.Succ[0])
-		e.cur = e.w.IndirectTargets[id][e.reqType]
+		e.stack = append(e.stack, f.Succ[0])       //ispy:alloc call-stack growth; capacity amortizes during warmup
+		e.cur = e.w.IndirectTargets[id][e.reqType] //ispy:alloc read-only indirect-target table lookup, no allocation
 		e.takenInto = true
 	case FlowRet:
 		if len(e.stack) == 0 {

@@ -16,8 +16,10 @@ if [ -n "$unformatted" ]; then
 fi
 echo "== go vet ./..."
 go vet ./...
-echo "== ispy-vet ./..."
-go run ./cmd/ispy-vet ./...
+echo "== ispy-vet -strict ./..."
+go run ./cmd/ispy-vet -strict ./...
+echo "== ispy-vet -json smoke"
+go run ./cmd/ispy-vet -json ./... > /dev/null
 echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
