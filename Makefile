@@ -50,9 +50,11 @@ faultsmoke:
 		echo "faultsmoke: exit code $$rc, want 1"; exit 1; fi
 	@echo "faultsmoke: ok (exit 1 with contained failure)"
 
-# Benchmark smoke: scripts/bench.sh must produce parseable JSON. The test
-# skips itself unless the env var is set because it spawns a nested
-# `go test -bench`.
+# Benchmark smoke: scripts/bench.sh must produce parseable JSON, and its
+# built-in regression gate must pass against the newest committed
+# BENCH_PR*.json (>10% wordpress-throughput loss fails; bench.sh -no-gate
+# is the escape hatch for noisy machines). The test skips itself unless the
+# env var is set because it spawns a nested `go test -bench`.
 benchsmoke:
 	ISPY_BENCH_SMOKE=1 $(GO) test -run TestBenchScriptEmitsJSON .
 
@@ -60,7 +62,9 @@ benchsmoke:
 benchall:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# The reproducible perf baseline: headline benchmarks → BENCH_PR3.json at
-# the repo root (see docs/PERFORMANCE.md).
+# The reproducible perf baseline: headline benchmarks → BENCH_PR$(PR).json
+# at the repo root, gated against the newest committed baseline (see
+# docs/PERFORMANCE.md). Override the label with `make bench PR=7`.
+PR ?= 6
 bench:
-	./scripts/bench.sh -o BENCH_PR3.json
+	./scripts/bench.sh -pr $(PR)

@@ -16,8 +16,13 @@ func TestBenchScriptEmitsJSON(t *testing.T) {
 	if os.Getenv("ISPY_BENCH_SMOKE") == "" {
 		t.Skip("spawns a nested `go test -bench`; run via `make benchsmoke` (sets ISPY_BENCH_SMOKE=1)")
 	}
+	// The PR label only names the throwaway file's provenance field here —
+	// -o points at a temp path, so no committed baseline is touched. The
+	// run still exercises the regression gate against the newest committed
+	// BENCH_PR*.json (bench.sh's default), which is what makes this the
+	// `make check` perf gate.
 	out := filepath.Join(t.TempDir(), "bench.json")
-	cmd := exec.Command("./scripts/bench.sh", "-quick", "-o", out)
+	cmd := exec.Command("./scripts/bench.sh", "-pr", "6", "-quick", "-o", out)
 	if text, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("bench.sh failed: %v\n%s", err, text)
 	}
@@ -30,6 +35,7 @@ func TestBenchScriptEmitsJSON(t *testing.T) {
 		PR              string  `json:"pr"`
 		GoVersion       string  `json:"go_version"`
 		FastpathSpeedup float64 `json:"fastpath_speedup"`
+		ShardedSpeedup  float64 `json:"sharded_speedup"`
 		Benchmarks      []struct {
 			Name    string             `json:"name"`
 			NsPerOp float64            `json:"ns_per_op"`
@@ -55,5 +61,8 @@ func TestBenchScriptEmitsJSON(t *testing.T) {
 	}
 	if f.FastpathSpeedup <= 0 {
 		t.Errorf("fastpath_speedup not derived (got %v)", f.FastpathSpeedup)
+	}
+	if f.ShardedSpeedup <= 0 {
+		t.Errorf("sharded_speedup not derived (got %v)", f.ShardedSpeedup)
 	}
 }

@@ -1,0 +1,241 @@
+// Banked views over the hierarchy for the sharded simulation kernel
+// (DESIGN.md §11). A BankPlan partitions every level's sets into K disjoint
+// banks keyed by the L1I set index: bank = high bits of (line index mod L1I
+// sets). Because every level's set count is a power-of-two multiple of the
+// L1I's, each L2/L3 set receives lines from exactly one L1I congruence
+// class, so a line's whole inclusive-fill path lives inside one bank and K
+// workers can simulate the discrete cache state with no shared writes.
+//
+// A Bank models only the *discrete* projection of the demand-fetch path:
+// tags, replacement timestamps, victim choice, hit level, and the
+// Accesses/Misses counters. Timing state (arrival cycles, late-prefetch
+// waits) deliberately does not exist here — it depends on the global cycle
+// count and is replayed sequentially by the sim package's timing pass. The
+// discrete projection is exact because no discrete decision in Cache reads
+// `now`: hits promote to a fresh clock value, demand inserts take the next
+// clock value, and victims are chosen by timestamp *order*, which is
+// invariant under renumbering the per-level clock to a bank-local one (the
+// per-set event sequence is identical; only absolute clock values differ).
+//
+// Banks exist only for demand-driven runs: prefetch insertion uses the
+// half-priority midpoint ts = oldest + (clock-oldest)/2, whose *value*
+// (not just order) couples all sets of a level through the shared clock,
+// so any prefetching configuration falls back to the sequential kernel
+// (see sim.PlanShards).
+package cache
+
+import (
+	"fmt"
+
+	"ispy/internal/isa"
+)
+
+// BankPlan describes one validated set partition of a hierarchy.
+type BankPlan struct {
+	cfg       HierarchyConfig
+	nbanks    int
+	l1iSets   int
+	l1iMask   uint64 // l1iSets - 1
+	l1iBits   uint   // log2(l1iSets)
+	bankShift uint   // log2(l1iSets / nbanks); bank = l1iClass >> bankShift
+	spanBits  uint   // log2 of owned L1I classes per bank (== bankShift)
+}
+
+// NewBankPlan validates that cfg's geometry admits an nbanks-way set
+// partition and returns the plan. It requires a power-of-two bank count no
+// larger than the L1I set count, and that no level has fewer sets than the
+// L1I (otherwise one L2/L3 set would straddle banks).
+func NewBankPlan(cfg HierarchyConfig, nbanks int) (*BankPlan, error) {
+	for _, c := range []Config{cfg.L1I, cfg.L2, cfg.L3} {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	l1iSets := cfg.L1I.Sets()
+	if nbanks < 1 || nbanks&(nbanks-1) != 0 {
+		return nil, fmt.Errorf("bank count %d is not a power of two", nbanks)
+	}
+	if nbanks > l1iSets {
+		return nil, fmt.Errorf("bank count %d exceeds the %d L1I sets", nbanks, l1iSets)
+	}
+	if cfg.L2.Sets() < l1iSets || cfg.L3.Sets() < l1iSets {
+		return nil, fmt.Errorf("L2/L3 have fewer sets than the L1I; sets would straddle banks")
+	}
+	p := &BankPlan{
+		cfg:     cfg,
+		nbanks:  nbanks,
+		l1iSets: l1iSets,
+		l1iMask: uint64(l1iSets - 1),
+		l1iBits: log2(l1iSets),
+	}
+	p.bankShift = log2(l1iSets / nbanks)
+	p.spanBits = p.bankShift
+	return p, nil
+}
+
+func log2(n int) uint {
+	var s uint
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// Banks returns the partition's bank count.
+func (p *BankPlan) Banks() int { return p.nbanks }
+
+// BankOf returns the bank that owns lineAddr's sets at every level.
+func (p *BankPlan) BankOf(lineAddr isa.Addr) int {
+	return int((isa.LineIndex(lineAddr) & p.l1iMask) >> p.bankShift)
+}
+
+// NewBank builds the discrete cache state for bank id.
+func (p *BankPlan) NewBank(id int) *Bank {
+	if id < 0 || id >= p.nbanks {
+		panic(fmt.Sprintf("bank id %d out of range [0,%d)", id, p.nbanks))
+	}
+	b := &Bank{id: id, plan: p}
+	b.l1i.init(p, p.cfg.L1I, id)
+	b.l2.init(p, p.cfg.L2, id)
+	b.l3.init(p, p.cfg.L3, id)
+	return b
+}
+
+// bankCache is one bank's slice of one cache level: the tags and replacement
+// timestamps of the sets the bank owns, with a bank-local clock. Stats
+// counts only Accesses and Misses; the prefetch counters stay zero by
+// construction (banks never see prefetch traffic).
+type bankCache struct {
+	tags     []uint64 // ownedSets × ways, set-major; invalidTag = empty
+	ts       []uint64 // parallel replacement timestamps
+	ways     int
+	setMask  uint64 // level's global set mask (sets - 1)
+	l1iMask  uint64
+	l1iBits  uint
+	spanBits uint
+	base     uint64 // first owned L1I class (id << spanBits)
+	clock    uint64
+	stats    Stats
+}
+
+func (c *bankCache) init(p *BankPlan, cfg Config, id int) {
+	owned := cfg.Sets() / p.nbanks
+	n := owned * cfg.Ways
+	c.tags = make([]uint64, n)
+	c.ts = make([]uint64, n)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	c.ways = cfg.Ways
+	c.setMask = uint64(cfg.Sets() - 1)
+	c.l1iMask = p.l1iMask
+	c.l1iBits = p.l1iBits
+	c.spanBits = p.spanBits
+	c.base = uint64(id) << p.spanBits
+}
+
+// localBase maps a line index to the flat-array offset of its set within
+// this bank: the owned sets of one level are the global sets whose L1I
+// class falls in [base, base+span), renumbered densely by (period, offset).
+func (c *bankCache) localBase(idx uint64) int {
+	s := idx & c.setMask
+	local := (s>>c.l1iBits)<<c.spanBits + (s & c.l1iMask) - c.base
+	return int(local) * c.ways
+}
+
+// access is the discrete projection of Cache.Lookup for demand traffic:
+// count the access, promote on hit, count the miss otherwise.
+func (c *bankCache) access(tag uint64) bool {
+	c.stats.Accesses++
+	base := c.localBase(tag)
+	for i, t := range c.tags[base : base+c.ways] {
+		if t != tag {
+			continue
+		}
+		c.clock++
+		c.ts[base+i] = c.clock
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// fill is the discrete projection of Cache.Insert for demand fills. The
+// line is known absent (the same event just missed here), so the
+// resident-refresh path of Insert is unreachable; the victim rule — first
+// invalid way, else smallest timestamp — matches Insert exactly.
+func (c *bankCache) fill(tag uint64) {
+	base := c.localBase(tag)
+	tags := c.tags[base : base+c.ways]
+	victim := -1
+	for i, t := range tags {
+		if t == invalidTag {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		ts := c.ts[base : base+c.ways]
+		victim = 0
+		for i := 1; i < len(ts); i++ {
+			if ts[i] < ts[victim] {
+				victim = i
+			}
+		}
+	}
+	c.clock++
+	tags[victim] = tag
+	c.ts[base+victim] = c.clock
+}
+
+// Bank is one worker's share of the hierarchy's discrete state.
+type Bank struct {
+	id   int
+	plan *BankPlan
+	l1i  bankCache
+	l2   bankCache
+	l3   bankCache
+}
+
+// Owns reports whether this bank owns lineAddr's sets.
+func (b *Bank) Owns(lineAddr isa.Addr) bool {
+	return int((isa.LineIndex(lineAddr)&b.plan.l1iMask)>>b.plan.bankShift) == b.id
+}
+
+// Fetch simulates the discrete projection of Hierarchy.FetchI for a line
+// this bank owns and returns the serving level. The inclusive fill cascade
+// mirrors FetchI: an L2 hit fills the L1I; an L3 hit fills L1I and L2; a
+// memory serve fills all three.
+func (b *Bank) Fetch(lineAddr isa.Addr) Level {
+	tag := isa.LineIndex(lineAddr)
+	if b.l1i.access(tag) {
+		return LevelL1
+	}
+	if b.l2.access(tag) {
+		b.l1i.fill(tag)
+		return LevelL2
+	}
+	if b.l3.access(tag) {
+		b.l1i.fill(tag)
+		b.l2.fill(tag)
+		return LevelL3
+	}
+	b.l1i.fill(tag)
+	b.l2.fill(tag)
+	b.l3.fill(tag)
+	return LevelMem
+}
+
+// ResetStats zeroes the bank's per-level counters (the warmup/measure
+// boundary), preserving cache contents and clocks exactly as the sequential
+// kernel's stats reset does.
+func (b *Bank) ResetStats() {
+	b.l1i.stats = Stats{}
+	b.l2.stats = Stats{}
+	b.l3.stats = Stats{}
+}
+
+// LevelStats returns the bank's per-level counters for merging.
+func (b *Bank) LevelStats() (l1i, l2, l3 Stats) {
+	return b.l1i.stats, b.l2.stats, b.l3.stats
+}

@@ -1,0 +1,567 @@
+// Sharded simulation kernel (DESIGN.md §11): one simulation on every core,
+// bit-identical to the sequential fast path.
+//
+// The decomposition rests on a property of this simulator the golden
+// reference pins down: discrete cache evolution (hits, misses, victims,
+// replacement order) never reads the cycle count, and the LBR's Bloom state
+// hashes only block addresses — so for demand-driven runs the per-line
+// *serve level* sequence is a pure function of the block stream, computable
+// per cache bank with no cross-bank communication. Timing (the float64
+// cycle accumulator, in-flight arrival waits, hook cycles) is inherently
+// sequential — each stall shifts every later cycle — so it is NOT
+// parallelized; it is replayed in a single pass that consumes the workers'
+// serve-level logs and performs the exact float64 operation sequence of the
+// sequential kernel.
+//
+// Pipeline: a driver goroutine pulls the BatchSource stream, cuts it into
+// chunks at warmup/measure boundaries (computed purely from per-block
+// workload-instruction counts), and broadcasts each chunk to K bank workers
+// plus the timing pass. Worker w simulates the discrete state of bank w's
+// sets (see cache.BankPlan) and emits one serve-level byte per owned line.
+// The timing pass (the caller's goroutine) replays blocks in stream order,
+// popping each line's serve level from its bank's log, maintaining arrival
+// times per line, the LBR, the hooks, and every Stats counter the discrete
+// side doesn't own. Per-bank Accesses/Misses merge by field-wise sum — a
+// deterministic, commutative reduction over disjoint set partitions.
+//
+// Configurations that prefetch (injected instructions, hardware windows,
+// Ideal) fall back to the sequential kernel: prefetch insertion uses the
+// half-priority midpoint timestamp whose value couples all sets of a level
+// through the shared replacement clock, and window prefetches generate
+// cross-bank traffic. PlanShards encodes the dichotomy; the golden
+// equivalence suite holds for every configuration because the fallback *is*
+// the sequential kernel.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ispy/internal/cache"
+	"ispy/internal/isa"
+	"ispy/internal/lbr"
+)
+
+// Shard-plan strategies.
+const (
+	// StrategyBanked is the set-partitioned parallel pipeline.
+	StrategyBanked = "banked"
+	// StrategySequential is the single-goroutine fast path (Run).
+	StrategySequential = "sequential"
+)
+
+// ShardPlan is PlanShards' decision: how many workers, which kernel, why.
+type ShardPlan struct {
+	// Shards is the effective worker count (1 for sequential).
+	Shards int
+	// Strategy is StrategyBanked or StrategySequential.
+	Strategy string
+	// Reason explains the decision, for -v diagnostics.
+	Reason string
+}
+
+// AutoShards returns the shard count a "-shards 0" (auto) run resolves to:
+// the largest power of two not exceeding GOMAXPROCS.
+func AutoShards() int {
+	return pow2Floor(runtime.GOMAXPROCS(0))
+}
+
+// pow2Floor returns the largest power of two ≤ n (1 for n < 2).
+func pow2Floor(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// PlanShards decides how a run of prog under cfg with the requested shard
+// count (0 = auto) executes. Banked sharding applies only to demand-driven
+// configurations — no injected prefetches, no hardware window, not Ideal —
+// whose hierarchy admits a set partition; everything else is sequential.
+func PlanShards(prog *isa.Program, cfg Config, requested int) ShardPlan {
+	cfg.setDefaults()
+	n := requested
+	if n == 0 {
+		n = AutoShards()
+	}
+	if n < 2 {
+		return ShardPlan{Shards: 1, Strategy: StrategySequential, Reason: "single shard"}
+	}
+	n = pow2Floor(n)
+	if cfg.Ideal {
+		return ShardPlan{Shards: 1, Strategy: StrategySequential,
+			Reason: "ideal-cache runs perform no cache work to partition"}
+	}
+	if cfg.HWPrefetchWindow > 0 {
+		return ShardPlan{Shards: 1, Strategy: StrategySequential,
+			Reason: "hardware window prefetches generate cross-bank fills"}
+	}
+	if progHasPrefetch(prog) {
+		return ShardPlan{Shards: 1, Strategy: StrategySequential,
+			Reason: "injected prefetches need the level-global replacement clock (half-priority inserts)"}
+	}
+	if len(prog.Blocks) == 0 {
+		return ShardPlan{Shards: 1, Strategy: StrategySequential, Reason: "empty program"}
+	}
+	if sets := cfg.Hier.L1I.Sets(); n > sets {
+		n = sets
+	}
+	if _, err := cache.NewBankPlan(cfg.Hier, n); err != nil {
+		return ShardPlan{Shards: 1, Strategy: StrategySequential,
+			Reason: "hierarchy admits no set partition: " + err.Error()}
+	}
+	return ShardPlan{Shards: n, Strategy: StrategyBanked,
+		Reason: "demand-only run partitions by L1I set index"}
+}
+
+// progHasPrefetch reports whether prog contains any injected prefetch
+// instruction (static scan; once per run).
+func progHasPrefetch(prog *isa.Program) bool {
+	for i := range prog.Blocks {
+		ins := prog.Blocks[i].Instrs
+		for j := range ins {
+			if ins[j].Kind.IsPrefetch() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunSharded executes the run with up to shards workers (0 = auto), falling
+// back to the sequential kernel whenever PlanShards rules banking out or
+// src cannot stream batches. It is pinned to produce bit-identical Stats
+// and hook event streams to Run (and therefore to RunReference); the golden
+// equivalence suite enforces that across shard counts on every preset.
+func RunSharded(prog *isa.Program, src BlockSource, cfg Config, hooks *Hooks, shards int) *Stats {
+	cfg.setDefaults()
+	plan := PlanShards(prog, cfg, shards)
+	bs, ok := src.(BatchSource)
+	if plan.Strategy != StrategyBanked || !ok {
+		return Run(prog, src, cfg, hooks)
+	}
+	return runBanked(prog, bs, cfg, hooks, plan.Shards)
+}
+
+const (
+	// shardChunkBlocks is the number of stream blocks per pipeline chunk:
+	// large enough that per-chunk channel synchronization is noise, small
+	// enough that three chunks of logs stay cache-resident.
+	shardChunkBlocks = 1024
+	// shardDepth is the number of chunks in flight per pipeline stage.
+	shardDepth = 3
+)
+
+// shardChunk is one broadcast slice of the block stream. The driver fills
+// it, K workers and the timing pass read it, and the last consumer (refs
+// hitting zero) recycles it to the driver's free list.
+type shardChunk struct {
+	ids   []int32
+	taken []bool
+	n     int
+	// reset marks the first measured chunk: consumers zero their statistics
+	// before executing it (the warmup/measure boundary always falls at a
+	// chunk boundary; the driver cuts chunks there).
+	reset bool
+	refs  atomic.Int32
+}
+
+// bankLog is one worker's output for one chunk: the serve level of every
+// owned line, one byte each, in stream order. pos is the timing pass's read
+// cursor.
+type bankLog struct {
+	rec []uint8
+	n   int
+	pos int
+}
+
+// bankKernel is one worker's state: the shared fetch plans and its bank of
+// the discrete cache hierarchy.
+type bankKernel struct {
+	plans []blockPlan
+	bank  *cache.Bank
+}
+
+// processChunk simulates the chunk's discrete cache traffic for this
+// worker's bank, appending one serve-level byte per owned line to out.
+func (k *bankKernel) processChunk(c *shardChunk, out *bankLog) {
+	if c.reset {
+		k.bank.ResetStats()
+	}
+	out.n = 0
+	rec := out.rec
+	for i := 0; i < c.n; i++ {
+		p := &k.plans[c.ids[i]]
+		line := p.firstLine
+		for j := int32(0); j < p.nLines; j++ {
+			if k.bank.Owns(line) {
+				rec[out.n] = uint8(k.bank.Fetch(line))
+				out.n++
+			}
+			line += isa.LineSize
+		}
+	}
+}
+
+// timingKernel replays the block stream sequentially against the workers'
+// serve-level logs, performing the sequential kernel's exact cycle
+// arithmetic: same float64 operations in the same order, same arrival/wait
+// bookkeeping, same hook call sites. It owns every Stats field the banks
+// don't (the banks own per-level Accesses/Misses).
+type timingKernel struct {
+	cfg   Config
+	hooks Hooks
+	plans []blockPlan
+	bp    *cache.BankPlan
+	lbr   *lbr.LBR
+	stats Stats
+
+	// Arrival cycles per line slot (dense over the program's text span),
+	// one array per level, replacing the per-way arrival field of the
+	// sequential caches. Exact because a line's arrival is only read while
+	// the line is resident, and every residency begins with a fill that
+	// overwrites the slot.
+	slotBase uint64 // line index of the program's first text line
+	arr1     []uint64
+	arr2     []uint64
+	arr3     []uint64
+	// maxArr bounds every outstanding arrival; when now has passed it, the
+	// per-hit arrival load is skipped (the common steady-state path).
+	maxArr uint64
+
+	cycleF     float64
+	totalInstr uint64
+	cycleStart float64
+	issueF     float64
+	backendF   float64
+	stallF     float64
+	fullStallF float64
+	late1      uint64 // per-level PrefetchLate (in-flight hits), timing-owned
+	late2      uint64
+	late3      uint64
+	measured   bool
+}
+
+// shardLayout is the per-run geometry shared by the pipeline stages: the
+// dense line-slot mapping over the program's text span and the worst-case
+// per-chunk log size (every line of every block landing in one bank).
+type shardLayout struct {
+	maxLines int32
+	slotBase uint64 // line index of the program's first text line
+	slots    uint64
+}
+
+func planLayout(plans []blockPlan) shardLayout {
+	var lay shardLayout
+	lay.slotBase = ^uint64(0)
+	var slotEnd uint64
+	for i := range plans {
+		p := &plans[i]
+		if p.nLines > lay.maxLines {
+			lay.maxLines = p.nLines
+		}
+		first := isa.LineIndex(p.firstLine)
+		if first < lay.slotBase {
+			lay.slotBase = first
+		}
+		if end := first + uint64(p.nLines); end > slotEnd {
+			slotEnd = end
+		}
+	}
+	lay.slots = slotEnd - lay.slotBase
+	return lay
+}
+
+// newTimingKernel builds the timing pass's state (arrival arrays, LBR)
+// once, before the measured region.
+func newTimingKernel(cfg Config, hooks *Hooks, plans []blockPlan, bp *cache.BankPlan, lay shardLayout) *timingKernel {
+	t := &timingKernel{
+		cfg:      cfg,
+		plans:    plans,
+		bp:       bp,
+		lbr:      lbr.New(cfg.HashBits),
+		slotBase: lay.slotBase,
+		arr1:     make([]uint64, lay.slots),
+		arr2:     make([]uint64, lay.slots),
+		arr3:     make([]uint64, lay.slots),
+		measured: cfg.WarmupInstrs == 0,
+	}
+	if hooks != nil {
+		t.hooks = *hooks
+	}
+	return t
+}
+
+func (t *timingKernel) now() uint64 { return uint64(t.cycleF) }
+
+func (t *timingKernel) resetStats() {
+	t.stats = Stats{}
+	t.late1, t.late2, t.late3 = 0, 0, 0
+	t.cycleStart = t.cycleF
+	t.issueF, t.backendF, t.stallF, t.fullStallF = 0, 0, 0, 0
+	t.measured = true
+}
+
+// processChunk replays one chunk: logs[w] is worker w's serve-level log for
+// the same chunk, consumed in lockstep with the stream.
+func (t *timingKernel) processChunk(c *shardChunk, logs []*bankLog) {
+	if c.reset {
+		t.resetStats()
+	}
+	for i := 0; i < c.n; i++ {
+		bid := int(c.ids[i])
+		p := &t.plans[bid]
+		t.stats.Blocks++
+		if c.taken[i] {
+			t.lbr.Push(c.ids[i], p.addr, t.now(), t.totalInstr)
+		}
+		if t.hooks.OnBlock != nil && t.measured {
+			t.hooks.OnBlock(bid, t.now(), t.lbr) //ispy:alloc hook dispatch; hooks are nil in benchmarked runs
+		}
+
+		line := p.firstLine
+		for j := int32(0); j < p.nLines; j++ {
+			lg := logs[t.bp.BankOf(line)]
+			lvl := cache.Level(lg.rec[lg.pos])
+			lg.pos++
+			t.stats.LineFetches++
+			slot := isa.LineIndex(line) - t.slotBase
+			if lvl == cache.LevelL1 {
+				// Hit. Wait out an in-flight line exactly as the sequential
+				// kernel does; skip the arrival load once every outstanding
+				// fill has landed.
+				if t.maxArr > uint64(t.cycleF) {
+					if a := t.arr1[slot]; a > t.now() {
+						wait := a - t.now()
+						t.late1++
+						t.stats.LateWaits++
+						t.fullStallF += float64(wait)
+						scaled := float64(wait) * t.cfg.StallScale
+						t.cycleF += scaled
+						t.stallF += scaled
+					}
+				}
+			} else {
+				now := t.now()
+				var stall uint64
+				switch lvl {
+				case cache.LevelL2:
+					stall = t.cfg.Hier.L2.Latency
+					if a := t.arr2[slot]; a > now {
+						stall += a - now
+						t.late2++
+					}
+					t.arr1[slot] = now + stall
+				case cache.LevelL3:
+					stall = t.cfg.Hier.L3.Latency
+					if a := t.arr3[slot]; a > now {
+						stall += a - now
+						t.late3++
+					}
+					t.arr1[slot] = now + stall
+					t.arr2[slot] = now + stall
+				default:
+					stall = t.cfg.Hier.MemLatency
+					t.arr1[slot] = now + stall
+					t.arr2[slot] = now + stall
+					t.arr3[slot] = now + stall
+				}
+				if now+stall > t.maxArr {
+					t.maxArr = now + stall
+				}
+				t.stats.L1IMisses++
+				t.fullStallF += float64(stall)
+				scaled := float64(stall) * t.cfg.StallScale
+				t.cycleF += scaled
+				t.stallF += scaled
+				if t.hooks.OnMiss != nil && t.measured {
+					t.hooks.OnMiss(bid, int32(int64(line)-int64(p.addr)), t.now(), t.lbr) //ispy:alloc hook dispatch; hooks are nil in benchmarked runs
+				}
+			}
+			line += isa.LineSize
+		}
+
+		t.stats.Instrs += uint64(p.nInstrs)
+		t.totalInstr += uint64(p.nInstrs)
+		t.stats.BaseInstrs += uint64(p.nBase)
+		t.stats.DynPrefetchInstrs += uint64(p.nInstrs - p.nBase)
+		t.cycleF += p.issue + p.backend
+		t.issueF += p.issue
+		t.backendF += p.backend
+	}
+}
+
+// finish merges the banks' discrete counters into the timing pass's Stats —
+// a field-wise sum over disjoint set partitions, so the reduction is
+// commutative and deterministic — and truncates the cycle accumulators
+// exactly as the sequential kernel does.
+func (t *timingKernel) finish(banks []*cache.Bank) {
+	for _, b := range banks {
+		l1, l2, l3 := b.LevelStats()
+		addCacheStats(&t.stats.L1I, &l1)
+		addCacheStats(&t.stats.L2, &l2)
+		addCacheStats(&t.stats.L3, &l3)
+	}
+	t.stats.L1I.PrefetchLate = t.late1
+	t.stats.L2.PrefetchLate = t.late2
+	t.stats.L3.PrefetchLate = t.late3
+	t.stats.Cycles = uint64(t.cycleF - t.cycleStart)
+	t.stats.IssueCycles = uint64(t.issueF)
+	t.stats.BackendCycles = uint64(t.backendF)
+	t.stats.StallCycles = uint64(t.stallF)
+	t.stats.FullStallCycles = uint64(t.fullStallF)
+}
+
+func addCacheStats(dst, src *cache.Stats) {
+	dst.Accesses += src.Accesses
+	dst.Misses += src.Misses
+	dst.PrefetchInserts += src.PrefetchInserts
+	dst.PrefetchUseful += src.PrefetchUseful
+	dst.PrefetchUseless += src.PrefetchUseless
+	dst.PrefetchLate += src.PrefetchLate
+	dst.PrefetchRedundant += src.PrefetchRedundant
+}
+
+// runBanked executes the banked pipeline. PlanShards has already vetted the
+// configuration (demand-only, partitionable hierarchy, nbanks ≥ 2). All
+// allocation — chunks, logs, banks, channels — happens here, before the
+// pipeline starts; the per-chunk kernels are allocation-free (the hotpath
+// vet pass proves it statically, TestShardedSteadyStateZeroAllocs
+// dynamically).
+func runBanked(prog *isa.Program, src BatchSource, cfg Config, hooks *Hooks, nbanks int) *Stats {
+	plans := buildPlans(prog, &cfg)
+	bp, err := cache.NewBankPlan(cfg.Hier, nbanks)
+	if err != nil {
+		return Run(prog, src, cfg, hooks)
+	}
+	lay := planLayout(plans)
+	logCap := shardChunkBlocks * int(lay.maxLines)
+
+	free := make(chan *shardChunk, shardDepth)
+	for i := 0; i < shardDepth; i++ {
+		free <- &shardChunk{
+			ids:   make([]int32, shardChunkBlocks),
+			taken: make([]bool, shardChunkBlocks),
+		}
+	}
+	workIn := make([]chan *shardChunk, nbanks)
+	timIn := make(chan *shardChunk, shardDepth)
+	logOut := make([]chan *bankLog, nbanks)
+	logFree := make([]chan *bankLog, nbanks)
+	banks := make([]*cache.Bank, nbanks)
+	for w := 0; w < nbanks; w++ {
+		workIn[w] = make(chan *shardChunk, shardDepth)
+		logOut[w] = make(chan *bankLog, shardDepth)
+		logFree[w] = make(chan *bankLog, shardDepth)
+		for i := 0; i < shardDepth; i++ {
+			logFree[w] <- &bankLog{rec: make([]uint8, logCap)}
+		}
+		banks[w] = bp.NewBank(w)
+	}
+
+	release := func(c *shardChunk) {
+		if c.refs.Add(-1) == 0 {
+			free <- c
+		}
+	}
+
+	// Driver: pull the stream, cut it into phase-aligned chunks, broadcast.
+	// Phase boundaries mirror the sequential kernel's loop condition (a
+	// block executes while the phase's workload-instruction budget is still
+	// positive), computed purely from the per-block nBase counts.
+	go func() {
+		defer func() {
+			for w := range workIn {
+				close(workIn[w])
+			}
+			close(timIn)
+		}()
+		sIDs := make([]int32, shardChunkBlocks)
+		sTaken := make([]bool, shardChunkBlocks)
+		warmLeft := cfg.WarmupInstrs
+		measLeft := cfg.MaxInstrs
+		resetPending := cfg.WarmupInstrs > 0
+		for measLeft > 0 {
+			n := src.NextN(sIDs, sTaken)
+			if n == 0 {
+				// A conforming source never does this; stop rather than spin.
+				return
+			}
+			i := 0
+			for i < n && measLeft > 0 {
+				reset := false
+				j := i
+				if warmLeft > 0 {
+					for j < n && warmLeft > 0 {
+						nb := uint64(plans[sIDs[j]].nBase)
+						j++
+						if nb >= warmLeft {
+							warmLeft = 0
+						} else {
+							warmLeft -= nb
+						}
+					}
+				} else {
+					if resetPending {
+						reset = true
+						resetPending = false
+					}
+					for j < n && measLeft > 0 {
+						nb := uint64(plans[sIDs[j]].nBase)
+						j++
+						if nb >= measLeft {
+							measLeft = 0
+						} else {
+							measLeft -= nb
+						}
+					}
+				}
+				c := <-free
+				copy(c.ids[:j-i], sIDs[i:j])
+				copy(c.taken[:j-i], sTaken[i:j])
+				c.n = j - i
+				c.reset = reset
+				c.refs.Store(int32(nbanks + 1))
+				for w := range workIn {
+					workIn[w] <- c
+				}
+				timIn <- c
+				i = j
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(nbanks)
+	for w := 0; w < nbanks; w++ {
+		go func(w int) {
+			defer wg.Done()
+			k := bankKernel{plans: plans, bank: banks[w]}
+			for c := range workIn[w] {
+				lg := <-logFree[w]
+				k.processChunk(c, lg)
+				logOut[w] <- lg
+				release(c)
+			}
+		}(w)
+	}
+
+	t := newTimingKernel(cfg, hooks, plans, bp, lay)
+	logs := make([]*bankLog, nbanks)
+	for c := range timIn {
+		for w := 0; w < nbanks; w++ {
+			logs[w] = <-logOut[w]
+		}
+		t.processChunk(c, logs)
+		for w := 0; w < nbanks; w++ {
+			logs[w].pos = 0
+			logFree[w] <- logs[w]
+		}
+		release(c)
+	}
+	wg.Wait()
+	t.finish(banks)
+	return &t.stats
+}

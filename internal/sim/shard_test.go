@@ -1,0 +1,208 @@
+// Sharded-kernel golden equivalence: RunSharded must produce bit-identical
+// Stats and hook event streams to RunReference at every shard count, on
+// every preset, for every configuration — banked configurations through the
+// set-partitioned pipeline, prefetching configurations through the
+// sequential fallback PlanShards selects. See DESIGN.md §11.
+package sim_test
+
+import (
+	"runtime"
+	"testing"
+
+	"ispy/internal/asmdb"
+	"ispy/internal/cache"
+	"ispy/internal/core"
+	"ispy/internal/isa"
+	"ispy/internal/lbr"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+// shardCounts are the counts the suite pins: sequential, two banked
+// widths, and whatever auto resolves to on the host.
+func shardCounts() []int {
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// runShardedBoth compares RunSharded at the given width against the golden
+// reference kernel with fresh identically-seeded executors.
+func runShardedBoth(t *testing.T, label string, w *workload.Workload, prog *isa.Program, cfg sim.Config, shards int) {
+	t.Helper()
+	ref := sim.RunReference(prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil)
+	got := sim.RunSharded(prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, nil, shards)
+	if *ref != *got {
+		t.Errorf("%s/shards=%d: kernels diverge\n reference: %+v\n   sharded: %+v", label, shards, *ref, *got)
+	}
+}
+
+// TestShardedGoldenEquivalenceAllApps pins the sharded kernel to the
+// reference on every preset at every shard count, for the base (banked),
+// Ideal (fallback) and Contiguous-8 (fallback) configurations.
+func TestShardedGoldenEquivalenceAllApps(t *testing.T) {
+	for _, name := range workload.AppNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := workload.Preset(name)
+			cfg := goldenCfg(w)
+			for _, s := range shardCounts() {
+				runShardedBoth(t, name+"/base", w, w.Prog, cfg, s)
+			}
+			// Fallback configurations: one non-trivial width suffices, the
+			// plan routes them to the sequential kernel regardless.
+			ideal := cfg
+			ideal.Ideal = true
+			runShardedBoth(t, name+"/ideal", w, w.Prog, ideal, 4)
+
+			hw := asmdb.ContiguousConfig(cfg, 8)
+			runShardedBoth(t, name+"/contig8", w, w.Prog, hw, 4)
+		})
+	}
+}
+
+// TestShardedGoldenEquivalenceInjected pins the sharded entry point on an
+// I-SPY-injected program: PlanShards must route it to the sequential kernel
+// (injected prefetches need the level-global replacement clock) and the
+// stats must still match the reference bit for bit.
+func TestShardedGoldenEquivalenceInjected(t *testing.T) {
+	w := workload.Preset("wordpress")
+	cfg := goldenCfg(w)
+	p := profile.Collect(w, workload.DefaultInput(w), cfg)
+	build := core.BuildISPY(p, cfg, core.DefaultOptions())
+
+	if plan := sim.PlanShards(build.Prog, cfg, 4); plan.Strategy != sim.StrategySequential {
+		t.Fatalf("injected program planned %q, want sequential", plan.Strategy)
+	}
+	runShardedBoth(t, "wordpress/ispy", w, build.Prog, cfg, 4)
+}
+
+// TestShardedGoldenEquivalenceHooks verifies the banked pipeline drives the
+// profiling hooks identically to the reference kernel: same OnBlock count,
+// same (block, delta, cycle) OnMiss triples in the same order.
+func TestShardedGoldenEquivalenceHooks(t *testing.T) {
+	type missEv struct {
+		block int
+		delta int32
+		cycle uint64
+	}
+	collect := func(run func(*isa.Program, sim.BlockSource, sim.Config, *sim.Hooks) *sim.Stats) (blocks uint64, misses []missEv) {
+		w := workload.Preset("finagle-http")
+		cfg := goldenCfg(w)
+		hooks := &sim.Hooks{
+			OnBlock: func(block int, cycle uint64, l *lbr.LBR) { blocks++ },
+			OnMiss: func(block int, delta int32, cycle uint64, l *lbr.LBR) {
+				misses = append(misses, missEv{block, delta, cycle})
+			},
+		}
+		run(w.Prog, workload.NewExecutor(w, workload.DefaultInput(w)), cfg, hooks)
+		return
+	}
+	sharded4 := func(prog *isa.Program, src sim.BlockSource, cfg sim.Config, hooks *sim.Hooks) *sim.Stats {
+		return sim.RunSharded(prog, src, cfg, hooks, 4)
+	}
+	refBlocks, refMisses := collect(sim.RunReference)
+	gotBlocks, gotMisses := collect(sharded4)
+	if refBlocks != gotBlocks {
+		t.Errorf("OnBlock count diverges: reference %d, sharded %d", refBlocks, gotBlocks)
+	}
+	if len(refMisses) != len(gotMisses) {
+		t.Fatalf("OnMiss count diverges: reference %d, sharded %d", len(refMisses), len(gotMisses))
+	}
+	for i := range refMisses {
+		if refMisses[i] != gotMisses[i] {
+			t.Fatalf("OnMiss[%d] diverges: reference %+v, sharded %+v", i, refMisses[i], gotMisses[i])
+		}
+	}
+}
+
+// TestPlanShards pins the planner's dichotomy and clamping rules.
+func TestPlanShards(t *testing.T) {
+	w := workload.Preset("wordpress")
+	cfg := goldenCfg(w)
+
+	if p := sim.PlanShards(w.Prog, cfg, 1); p.Strategy != sim.StrategySequential {
+		t.Errorf("shards=1: got %q, want sequential", p.Strategy)
+	}
+	if p := sim.PlanShards(w.Prog, cfg, 4); p.Strategy != sim.StrategyBanked || p.Shards != 4 {
+		t.Errorf("shards=4: got %q/%d, want banked/4", p.Strategy, p.Shards)
+	}
+	// Non-power-of-two widths round down.
+	if p := sim.PlanShards(w.Prog, cfg, 6); p.Strategy != sim.StrategyBanked || p.Shards != 4 {
+		t.Errorf("shards=6: got %q/%d, want banked/4", p.Strategy, p.Shards)
+	}
+	// Widths beyond the L1I set count clamp to it.
+	sets := cfg.Hier.L1I.Sets()
+	if p := sim.PlanShards(w.Prog, cfg, 4*sets); p.Strategy != sim.StrategyBanked || p.Shards != sets {
+		t.Errorf("shards=%d: got %q/%d, want banked/%d", 4*sets, p.Strategy, p.Shards, sets)
+	}
+
+	ideal := cfg
+	ideal.Ideal = true
+	if p := sim.PlanShards(w.Prog, ideal, 4); p.Strategy != sim.StrategySequential {
+		t.Errorf("ideal: got %q, want sequential", p.Strategy)
+	}
+	hw := cfg
+	hw.HWPrefetchWindow = 8
+	if p := sim.PlanShards(w.Prog, hw, 4); p.Strategy != sim.StrategySequential {
+		t.Errorf("hw window: got %q, want sequential", p.Strategy)
+	}
+}
+
+// TestBankPartitionCoversLines checks the cache-side partition invariants
+// directly: every line belongs to exactly one bank, and that bank's view of
+// the hierarchy serves it from the same levels the full hierarchy does on
+// an identical access sequence.
+func TestBankPartitionCoversLines(t *testing.T) {
+	hier := cache.TableI()
+	const nbanks = 4
+	bp, err := cache.NewBankPlan(hier, nbanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := make([]*cache.Bank, nbanks)
+	for i := range banks {
+		banks[i] = bp.NewBank(i)
+	}
+	full := cache.NewHierarchy(hier)
+
+	// A deterministic line sequence with enough reuse to exercise hits,
+	// evictions, and every level: stride through a span larger than the L1I
+	// with periodic revisits.
+	var lines []isa.Addr
+	for i := 0; i < 20_000; i++ {
+		a := isa.Addr(0x400000 + (i*37%3000)*isa.LineSize)
+		lines = append(lines, a)
+	}
+	for i, a := range lines {
+		b := bp.BankOf(a)
+		owners := 0
+		for _, bank := range banks {
+			if bank.Owns(a) {
+				owners++
+			}
+		}
+		if owners != 1 || !banks[b].Owns(a) {
+			t.Fatalf("line %#x: %d owners, BankOf=%d", a, owners, b)
+		}
+		got := banks[b].Fetch(a)
+		want := full.FetchI(a, 0).Level
+		if got != want {
+			t.Fatalf("access %d line %#x: bank served %v, hierarchy served %v", i, a, got, want)
+		}
+	}
+	var acc, miss uint64
+	for _, bank := range banks {
+		l1, _, _ := bank.LevelStats()
+		acc += l1.Accesses
+		miss += l1.Misses
+	}
+	if acc != full.L1I().Stats.Accesses || miss != full.L1I().Stats.Misses {
+		t.Errorf("merged L1I stats %d/%d, hierarchy %d/%d",
+			acc, miss, full.L1I().Stats.Accesses, full.L1I().Stats.Misses)
+	}
+}

@@ -3,7 +3,20 @@
 // repo root. See docs/PERFORMANCE.md for the file's schema and how to read
 // it.
 //
-// Usage: go test -bench ... | go run ./scripts/benchjson -pr PR3 -o BENCH_PR3.json
+// Usage: go test -bench ... | go run ./scripts/benchjson -pr PR6 -o BENCH_PR6.json
+//
+// The -pr label is required (scripts/bench.sh derives it from its own
+// required -pr N argument), so every baseline lands in its own
+// BENCH_PR<N>.json and the per-PR trajectory accumulates instead of being
+// clobbered.
+//
+// A second mode turns the tool into a regression gate:
+//
+//	go run ./scripts/benchjson -gate-old BENCH_PR3.json -gate-new fresh.json -max-loss-pct 10
+//
+// compares the wordpress fast-path throughput of two baseline files and
+// exits 1 when the new one has lost more than the threshold — the perf
+// regression gate scripts/bench.sh wires into `make check`.
 //
 // Benchmark lines have the shape
 //
@@ -47,13 +60,29 @@ type File struct {
 	GOARCH          string      `json:"goarch"`
 	CPU             string      `json:"cpu,omitempty"`
 	FastpathSpeedup float64     `json:"fastpath_speedup,omitempty"`
+	ShardedSpeedup  float64     `json:"sharded_speedup,omitempty"`
 	Benchmarks      []Benchmark `json:"benchmarks"`
 }
 
 func main() {
-	pr := flag.String("pr", "PR", "PR label recorded in the file")
+	pr := flag.String("pr", "", "PR label recorded in the file (required, e.g. PR6)")
 	out := flag.String("o", "", "output file (default stdout)")
+	gateOld := flag.String("gate-old", "", "gate mode: committed baseline JSON to compare against")
+	gateNew := flag.String("gate-new", "", "gate mode: freshly measured baseline JSON")
+	maxLoss := flag.Float64("max-loss-pct", 10, "gate mode: max tolerated throughput loss in percent")
 	flag.Parse()
+
+	if *gateOld != "" || *gateNew != "" {
+		if *gateOld == "" || *gateNew == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate-old and -gate-new must be given together")
+			os.Exit(2)
+		}
+		os.Exit(gate(*gateOld, *gateNew, *maxLoss))
+	}
+	if *pr == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -pr is required (e.g. -pr PR6); every baseline gets its own BENCH_PR<N>.json")
+		os.Exit(2)
+	}
 
 	f := File{
 		PR:        *pr,
@@ -88,6 +117,10 @@ func main() {
 	ref := metric(f.Benchmarks, "SimulatorReference", "instrs/s")
 	if fast > 0 && ref > 0 {
 		f.FastpathSpeedup = fast / ref
+	}
+	sharded := metric(f.Benchmarks, "SimulatorSharded/wordpress", "instrs/s")
+	if fast > 0 && sharded > 0 {
+		f.ShardedSpeedup = sharded / fast
 	}
 
 	enc, err := json.MarshalIndent(&f, "", "  ")
@@ -145,6 +178,49 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, b.NsPerOp > 0
+}
+
+// gate compares the wordpress fast-path throughput of two baseline files
+// and returns the process exit code: 0 when the fresh number is within
+// maxLoss percent of the committed one (or when either file lacks the
+// metric — an incomparable pair is not a regression), 1 on a real loss.
+func gate(oldPath, newPath string, maxLoss float64) int {
+	load := func(path string) (File, bool) {
+		var f File
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %v\n", err)
+			return f, false
+		}
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s: %v\n", path, err)
+			return f, false
+		}
+		return f, true
+	}
+	oldF, ok := load(oldPath)
+	if !ok {
+		return 2
+	}
+	newF, ok := load(newPath)
+	if !ok {
+		return 2
+	}
+	oldFast := metric(oldF.Benchmarks, "SimulatorThroughput/wordpress", "instrs/s")
+	newFast := metric(newF.Benchmarks, "SimulatorThroughput/wordpress", "instrs/s")
+	if oldFast <= 0 || newFast <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate: wordpress throughput missing (%s: %.0f, %s: %.0f); skipping comparison\n",
+			oldPath, oldFast, newPath, newFast)
+		return 0
+	}
+	lossPct := (1 - newFast/oldFast) * 100
+	fmt.Fprintf(os.Stderr, "benchjson: gate: wordpress throughput %s %.3g instrs/s → %s %.3g instrs/s (%+.1f%%, limit -%.0f%%)\n",
+		oldPath, oldFast, newPath, newFast, -lossPct, maxLoss)
+	if lossPct > maxLoss {
+		fmt.Fprintf(os.Stderr, "benchjson: gate: FAIL — throughput regressed %.1f%% (> %.0f%%)\n", lossPct, maxLoss)
+		return 1
+	}
+	return 0
 }
 
 // metric returns the named custom metric averaged over every benchmark

@@ -2,8 +2,10 @@
 # The repository gate: gofmt, vet, ispy-vet (the repo's determinism &
 # invariant analyzer), build, race-enabled tests, a short fuzz pass over the
 # trace decoders, a CLI-level fault-injection smoke, and the bench-script
-# JSON smoke. `make check` runs the same steps; this script exists for
-# environments without make.
+# smoke — which both validates the JSON and gates throughput against the
+# newest committed BENCH_PR*.json (>10% loss fails; see scripts/bench.sh
+# -no-gate for noisy machines). `make check` runs the same steps; this
+# script exists for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,6 +38,6 @@ if [ "$rc" -ne 1 ]; then
     echo "fault-injection smoke: exit code $rc, want 1" >&2
     exit 1
 fi
-echo "== bench-script smoke (must emit parseable JSON)"
+echo "== bench-script smoke (JSON schema + perf regression gate)"
 ISPY_BENCH_SMOKE=1 go test -run TestBenchScriptEmitsJSON .
 echo "== all checks passed"
