@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet ispyvet vet-waivers build test race fuzz faultsmoke benchsmoke benchall bench
+.PHONY: check fmtcheck vet ispyvet vet-waivers build test race fuzz faultsmoke chaossmoke benchsmoke benchall bench
 
 # The full gate: what CI (and every PR) must pass.
-check: fmtcheck vet ispyvet build race fuzz faultsmoke benchsmoke
+check: fmtcheck vet ispyvet build race fuzz faultsmoke chaossmoke benchsmoke
 
 # gofmt enforcement: fails listing any file that needs formatting.
 fmtcheck:
@@ -49,6 +49,16 @@ faultsmoke:
 	rc=$$?; if [ $$rc -ne 1 ]; then \
 		echo "faultsmoke: exit code $$rc, want 1"; exit 1; fi
 	@echo "faultsmoke: ok (exit 1 with contained failure)"
+
+# Server chaos smoke: the ispyd soak must hold every graceful-degradation
+# invariant (canonical or structured responses, no partial cache writes,
+# clean drain) under injected corruption, torn writes, and panics (exit 0;
+# see DESIGN.md §12).
+chaossmoke:
+	@$(GO) run ./cmd/ispyd soak -apps wordpress -workers 2 -requests 3 \
+		-instrs 60000 -fault-seed 20260807 >/dev/null 2>&1 || \
+		{ echo "chaossmoke: soak reported an invariant violation"; exit 1; }
+	@echo "chaossmoke: ok (all graceful-degradation invariants held)"
 
 # Benchmark smoke: scripts/bench.sh must produce parseable JSON, and its
 # built-in regression gate must pass against the newest committed

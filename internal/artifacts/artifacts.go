@@ -21,14 +21,19 @@ package artifacts
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
+	"ispy/internal/cfg"
 	"ispy/internal/core"
 	"ispy/internal/faults"
 	"ispy/internal/hashx"
+	"ispy/internal/isa"
 	"ispy/internal/profile"
 	"ispy/internal/sim"
 	"ispy/internal/traceio"
@@ -50,8 +55,9 @@ const (
 // are benign last-writer-wins rewrites of identical content).
 type Cache struct {
 	dir   string
-	evict func(kind string) // eviction observer; set before use
-	inj   *faults.Injector  // fault injector (testing); set before use
+	evict func(kind string)          // eviction observer; set before use
+	onIO  func(op string, err error) // I/O-outcome observer; set before use
+	inj   *faults.Injector           // fault injector (testing); set before use
 }
 
 // OnEvict registers an observer called with the artifact kind whenever a
@@ -69,6 +75,25 @@ func (c *Cache) OnEvict(f func(kind string)) {
 func (c *Cache) SetFaults(inj *faults.Injector) {
 	if c != nil {
 		c.inj = inj
+	}
+}
+
+// OnIO registers an observer called with the outcome of every substantive
+// cache read or write — op is "read" or "write", err is nil on success. A
+// read of an absent entry is neither (the disk answered; there was just no
+// entry) and is not reported. The analysis server feeds its artifact-layer
+// circuit breaker from this hook. Must be set before the cache is used
+// concurrently.
+func (c *Cache) OnIO(f func(op string, err error)) {
+	if c != nil {
+		c.onIO = f
+	}
+}
+
+// ioDone reports one I/O outcome to the observer, if any.
+func (c *Cache) ioDone(op string, err error) {
+	if c != nil && c.onIO != nil {
+		c.onIO(op, err)
 	}
 }
 
@@ -110,9 +135,13 @@ func (c *Cache) Enabled() bool { return c != nil }
 // --- container encoding ---
 
 // writeEntry persists sections under k, atomically (write temp + rename).
-// Store errors are deliberately swallowed: a read-only or full cache
-// directory degrades to recompute-every-time, it does not fail the run.
-func (c *Cache) writeEntry(k *Key, sections [][]byte) {
+// Store errors are deliberately swallowed (after notifying the OnIO
+// observer): a read-only or full cache directory degrades to
+// recompute-every-time, it does not fail the run. The write is bounded by
+// ctx: once the run context ends, the caller stops waiting — the background
+// write still finishes or cleans up after itself, so an expired deadline can
+// never leave a partial entry visible (the rename is what publishes it).
+func (c *Cache) writeEntry(ctx context.Context, k *Key, sections [][]byte) {
 	if c == nil {
 		return
 	}
@@ -135,22 +164,84 @@ func (c *Cache) writeEntry(k *Key, sections [][]byte) {
 
 	payload, err := c.inj.WriteBytes("artifacts.write", buf.Bytes())
 	if err != nil {
+		c.ioDone("write", err)
 		return // injected write error: store silently skipped, like ENOSPC
 	}
+	err = c.persist(ctx, k.Filename(), payload)
+	if err != nil && ctx != nil && ctx.Err() != nil {
+		// Abandoned, not failed: the caller's deadline ended before the
+		// rename was observed. The detached goroutine usually still publishes
+		// a complete entry, so there is no I/O verdict to report — a
+		// client-chosen timeout must not look like a failing disk.
+		return
+	}
+	c.ioDone("write", err)
+}
 
-	path := filepath.Join(c.dir, k.Filename())
-	tmp, err := os.CreateTemp(c.dir, k.Filename()+".tmp*")
-	if err != nil {
-		return
+// persist atomically writes data as dir/name via temp + rename. When ctx can
+// end, the file operations run on their own goroutine and persist only waits
+// for whichever comes first — completion or the deadline; the abandoned
+// goroutine still renames (a complete, valid entry) or removes its temp file.
+func (c *Cache) persist(ctx context.Context, name string, data []byte) error {
+	do := func() error {
+		tmp, err := os.CreateTemp(c.dir, name+".tmp*")
+		if err != nil {
+			return err
+		}
+		_, werr := tmp.Write(data)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(tmp.Name()) //ispy:errok abandoning the temp file; the write already failed
+			if werr != nil {
+				return werr
+			}
+			return cerr
+		}
+		if err := os.Rename(tmp.Name(), filepath.Join(c.dir, name)); err != nil {
+			os.Remove(tmp.Name()) //ispy:errok abandoning the temp file; the rename already failed
+			return err
+		}
+		return nil
 	}
-	_, werr := tmp.Write(payload)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name()) //ispy:errok abandoning the temp file; the write already failed
-		return
+	if ctx == nil || ctx.Done() == nil {
+		return do()
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name()) //ispy:errok abandoning the temp file; the rename already failed
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("artifacts: write abandoned: %w", context.Cause(ctx))
+	}
+	done := make(chan error, 1)
+	go func() { done <- do() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("artifacts: write abandoned: %w", context.Cause(ctx))
+	}
+}
+
+// readFile loads path bounded by ctx the same way persist is: a hung disk
+// cannot outlive the run context, only the wait is abandoned.
+func readFile(ctx context.Context, path string) ([]byte, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return os.ReadFile(path)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("artifacts: read abandoned: %w", context.Cause(ctx))
+	}
+	type result struct {
+		data []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		data, err := os.ReadFile(path)
+		done <- result{data, err}
+	}()
+	select {
+	case r := <-done:
+		return r.data, r.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("artifacts: read abandoned: %w", context.Cause(ctx))
 	}
 }
 
@@ -159,18 +250,27 @@ func (c *Cache) writeEntry(k *Key, sections [][]byte) {
 // key. An entry that exists but fails verification is evicted from disk (see
 // corrupt) so the next run stores a clean replacement instead of re-parsing
 // the same bad bytes forever.
-func (c *Cache) readEntry(k *Key) [][]byte {
+func (c *Cache) readEntry(ctx context.Context, k *Key) [][]byte {
 	if c == nil {
 		return nil
 	}
-	data, err := os.ReadFile(filepath.Join(c.dir, k.Filename()))
+	data, err := readFile(ctx, filepath.Join(c.dir, k.Filename()))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) && (ctx == nil || ctx.Err() == nil) {
+			// A disk that answered wrongly is an artifact-layer failure; an
+			// absent entry is just a miss, and an abandoned read (the
+			// caller's deadline ended first) carries no verdict at all — the
+			// disk may be perfectly healthy, the client just stopped waiting.
+			c.ioDone("read", err)
+		}
 		return nil // absent (or unreadable) is a plain miss, not an eviction
 	}
 	data, err = c.inj.ReadBytes("artifacts.read", data)
 	if err != nil {
+		c.ioDone("read", err)
 		return nil // injected read error: miss, but the entry may be fine
 	}
+	c.ioDone("read", nil)
 	rest := data
 	take := func() (uint64, bool) {
 		v, n := binary.Uvarint(rest)
@@ -227,9 +327,14 @@ func (c *Cache) readEntry(k *Key) [][]byte {
 }
 
 // --- typed entries ---
+//
+// Every typed load/store takes the run context: a cancelled or expired run
+// stops waiting on cache I/O immediately (see persist/readFile), so a hung
+// disk cannot outlive -timeout. Passing context.Background() preserves the
+// old unbounded behavior.
 
 // StoreStats persists one simulation run's statistics under k.
-func (c *Cache) StoreStats(k *Key, s *sim.Stats) {
+func (c *Cache) StoreStats(ctx context.Context, k *Key, s *sim.Stats) {
 	if c == nil || s == nil {
 		return
 	}
@@ -237,12 +342,12 @@ func (c *Cache) StoreStats(k *Key, s *sim.Stats) {
 	if err := traceio.WriteStats(&buf, s); err != nil {
 		return
 	}
-	c.writeEntry(k, [][]byte{buf.Bytes()})
+	c.writeEntry(ctx, k, [][]byte{buf.Bytes()})
 }
 
 // LoadStats returns the cached statistics for k, if valid.
-func (c *Cache) LoadStats(k *Key) (*sim.Stats, bool) {
-	sections := c.readEntry(k)
+func (c *Cache) LoadStats(ctx context.Context, k *Key) (*sim.Stats, bool) {
+	sections := c.readEntry(ctx, k)
 	if len(sections) != 1 {
 		return nil, false
 	}
@@ -256,7 +361,7 @@ func (c *Cache) LoadStats(k *Key) (*sim.Stats, bool) {
 // StoreProfile persists a collected profile: the miss-annotated graph (via
 // traceio's profile interchange format) plus the full statistics of the
 // profiling run.
-func (c *Cache) StoreProfile(k *Key, p *profile.Profile) {
+func (c *Cache) StoreProfile(ctx context.Context, k *Key, p *profile.Profile) {
 	if c == nil || p == nil {
 		return
 	}
@@ -278,14 +383,14 @@ func (c *Cache) StoreProfile(k *Key, p *profile.Profile) {
 	if err := traceio.WriteStats(&sbuf, p.Stats); err != nil {
 		return
 	}
-	c.writeEntry(k, [][]byte{pbuf.Bytes(), sbuf.Bytes()})
+	c.writeEntry(ctx, k, [][]byte{pbuf.Bytes(), sbuf.Bytes()})
 }
 
 // LoadProfile returns the cached profile for k rebound to the live workload
 // w and input in. A stored profile naming a different workload or input
 // (stale preset seed, collision) is treated as a miss.
-func (c *Cache) LoadProfile(k *Key, w *workload.Workload, in workload.Input) (*profile.Profile, bool) {
-	sections := c.readEntry(k)
+func (c *Cache) LoadProfile(ctx context.Context, k *Key, w *workload.Workload, in workload.Input) (*profile.Profile, bool) {
+	sections := c.readEntry(ctx, k)
 	if len(sections) != 2 {
 		return nil, false
 	}
@@ -310,11 +415,13 @@ func (c *Cache) LoadProfile(k *Key, w *workload.Workload, in workload.Input) (*p
 	}, true
 }
 
-// StoreBuild persists an analysis build: the injected program plus the
-// plan's reporting counters. The analysis working state (per-target site
-// choices and context evidence) is not stored — a cached build is for
-// simulation and reporting, not for resuming the analysis.
-func (c *Cache) StoreBuild(k *Key, b *core.Build) {
+// StoreBuild persists an analysis build: the injected program, the plan's
+// reporting counters, and the planned prefetch list (the injection plan the
+// analysis server streams back; the batch harness only reads the counters).
+// The analysis working state (per-target site choices and context evidence)
+// is not stored — a cached build is for simulation and reporting, not for
+// resuming the analysis.
+func (c *Cache) StoreBuild(ctx context.Context, k *Key, b *core.Build) {
 	if c == nil || b == nil {
 		return
 	}
@@ -324,6 +431,7 @@ func (c *Cache) StoreBuild(k *Key, b *core.Build) {
 	}
 	var plan []byte
 	put := func(v uint64) { plan = binary.AppendUvarint(plan, v) }
+	puti := func(v int64) { plan = binary.AppendVarint(plan, v) }
 	put(b.Plan.MissesTotal)
 	put(b.Plan.MissesPlanned)
 	put(b.Plan.MissesUncovered)
@@ -336,14 +444,29 @@ func (c *Cache) StoreBuild(k *Key, b *core.Build) {
 	for _, d := range b.Plan.CoalesceDistances {
 		put(uint64(d))
 	}
-	c.writeEntry(k, [][]byte{pbuf.Bytes(), plan})
+	put(uint64(len(b.Plan.Prefetches)))
+	for _, p := range b.Plan.Prefetches {
+		puti(int64(p.Site))
+		put(uint64(p.Kind))
+		put(p.MissCount)
+		put(uint64(len(p.Targets)))
+		for _, t := range p.Targets {
+			puti(int64(t.Block))
+			puti(int64(t.Delta))
+		}
+		put(uint64(len(p.CtxBlocks)))
+		for _, cb := range p.CtxBlocks {
+			puti(int64(cb))
+		}
+	}
+	c.writeEntry(ctx, k, [][]byte{pbuf.Bytes(), plan})
 }
 
 // LoadBuild returns the cached build for k, if valid. The returned Build
-// carries the injected program and plan counters; Sites and Contexts are nil
-// (see StoreBuild).
-func (c *Cache) LoadBuild(k *Key) (*core.Build, bool) {
-	sections := c.readEntry(k)
+// carries the injected program, plan counters, and planned prefetches; Sites
+// and Contexts are nil (see StoreBuild).
+func (c *Cache) LoadBuild(ctx context.Context, k *Key) (*core.Build, bool) {
+	sections := c.readEntry(ctx, k)
 	if len(sections) != 2 {
 		return nil, false
 	}
@@ -354,6 +477,14 @@ func (c *Cache) LoadBuild(k *Key) (*core.Build, bool) {
 	rest := sections[1]
 	take := func() (uint64, bool) {
 		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return v, true
+	}
+	taki := func() (int64, bool) {
+		v, n := binary.Varint(rest)
 		if n <= 0 {
 			return 0, false
 		}
@@ -399,6 +530,62 @@ func (c *Cache) LoadBuild(k *Key) (*core.Build, bool) {
 			return nil, false
 		}
 		plan.CoalesceDistances = append(plan.CoalesceDistances, int(v))
+	}
+	npf, ok := take()
+	if !ok || npf > 1<<24 {
+		return nil, false
+	}
+	if npf > 0 {
+		plan.Prefetches = make([]core.PlannedPrefetch, 0, npf)
+	}
+	for i := uint64(0); i < npf; i++ {
+		var p core.PlannedPrefetch
+		site, ok := taki()
+		if !ok {
+			return nil, false
+		}
+		p.Site = int32(site)
+		kind, ok := take()
+		if !ok {
+			return nil, false
+		}
+		p.Kind = isa.Kind(kind)
+		if p.MissCount, ok = take(); !ok {
+			return nil, false
+		}
+		nt, ok := take()
+		if !ok || nt > 1<<20 {
+			return nil, false
+		}
+		if nt > 0 {
+			p.Targets = make([]cfg.LineKey, 0, nt)
+		}
+		for j := uint64(0); j < nt; j++ {
+			block, ok := taki()
+			if !ok {
+				return nil, false
+			}
+			delta, ok := taki()
+			if !ok {
+				return nil, false
+			}
+			p.Targets = append(p.Targets, cfg.LineKey{Block: int32(block), Delta: int32(delta)})
+		}
+		nc, ok := take()
+		if !ok || nc > 1<<20 {
+			return nil, false
+		}
+		if nc > 0 {
+			p.CtxBlocks = make([]int32, 0, nc)
+		}
+		for j := uint64(0); j < nc; j++ {
+			cb, ok := taki()
+			if !ok {
+				return nil, false
+			}
+			p.CtxBlocks = append(p.CtxBlocks, int32(cb))
+		}
+		plan.Prefetches = append(plan.Prefetches, p)
 	}
 	if len(rest) != 0 {
 		return nil, false

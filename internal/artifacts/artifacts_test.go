@@ -1,6 +1,7 @@
 package artifacts
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -73,13 +74,13 @@ func TestKeyDeterminismAndSensitivity(t *testing.T) {
 func TestStatsRoundTrip(t *testing.T) {
 	c := testCache(t)
 	k := statsKey("base")
-	if _, ok := c.LoadStats(k); ok {
+	if _, ok := c.LoadStats(context.Background(), k); ok {
 		t.Fatal("empty cache reported a hit")
 	}
 	s := &sim.Stats{Cycles: 12345, BaseInstrs: 1000, L1IMisses: 77}
 	s.L1I.Accesses = 9000
-	c.StoreStats(k, s)
-	got, ok := c.LoadStats(k)
+	c.StoreStats(context.Background(), k, s)
+	got, ok := c.LoadStats(context.Background(), k)
 	if !ok {
 		t.Fatal("stored stats not found")
 	}
@@ -87,7 +88,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		t.Errorf("round trip mismatch: got %+v want %+v", got, s)
 	}
 	// A different kind misses.
-	if _, ok := c.LoadStats(statsKey("ideal")); ok {
+	if _, ok := c.LoadStats(context.Background(), statsKey("ideal")); ok {
 		t.Error("different key served the same entry")
 	}
 }
@@ -102,8 +103,8 @@ func TestProfileRoundTrip(t *testing.T) {
 	p := profile.Collect(w, in, cfg)
 
 	k := NewKey("profile", w.Name).Params(w.Params).SimConfig(cfg).Input(in)
-	c.StoreProfile(k, p)
-	got, ok := c.LoadProfile(k, w, in)
+	c.StoreProfile(context.Background(), k, p)
+	got, ok := c.LoadProfile(context.Background(), k, w, in)
 	if !ok {
 		t.Fatal("stored profile not found")
 	}
@@ -119,7 +120,7 @@ func TestProfileRoundTrip(t *testing.T) {
 
 	// A profile stored for another input must be treated as stale.
 	other := workload.Input{Name: "drifted", Seed: 999}
-	if _, ok := c.LoadProfile(k, w, other); ok {
+	if _, ok := c.LoadProfile(context.Background(), k, w, other); ok {
 		t.Error("stale profile (different input) served as a hit")
 	}
 }
@@ -135,8 +136,8 @@ func TestBuildRoundTrip(t *testing.T) {
 	b := core.BuildISPY(p, cfg, core.DefaultOptions())
 
 	k := NewKey("ispy-build", w.Name).Params(w.Params).SimConfig(cfg).Options(core.DefaultOptions())
-	c.StoreBuild(k, b)
-	got, ok := c.LoadBuild(k)
+	c.StoreBuild(context.Background(), k, b)
+	got, ok := c.LoadBuild(context.Background(), k)
 	if !ok {
 		t.Fatal("stored build not found")
 	}
@@ -149,6 +150,31 @@ func TestBuildRoundTrip(t *testing.T) {
 		len(got.Plan.CoalescedLineCounts) != len(b.Plan.CoalescedLineCounts) ||
 		len(got.Plan.CoalesceDistances) != len(b.Plan.CoalesceDistances) {
 		t.Error("plan summary round trip mismatch")
+	}
+	// The planned-prefetch list (what the analysis server streams back) must
+	// round-trip exactly, not just in aggregate.
+	if len(got.Plan.Prefetches) != len(b.Plan.Prefetches) {
+		t.Fatalf("prefetch list round trip: %d entries, want %d", len(got.Plan.Prefetches), len(b.Plan.Prefetches))
+	}
+	if len(b.Plan.Prefetches) == 0 {
+		t.Fatal("test build planned no prefetches; the round-trip assertion is vacuous")
+	}
+	for i, want := range b.Plan.Prefetches {
+		g := got.Plan.Prefetches[i]
+		if g.Site != want.Site || g.Kind != want.Kind || g.MissCount != want.MissCount ||
+			len(g.Targets) != len(want.Targets) || len(g.CtxBlocks) != len(want.CtxBlocks) {
+			t.Fatalf("prefetch %d round trip mismatch: got %+v, want %+v", i, g, want)
+		}
+		for j := range want.Targets {
+			if g.Targets[j] != want.Targets[j] {
+				t.Fatalf("prefetch %d target %d: got %v, want %v", i, j, g.Targets[j], want.Targets[j])
+			}
+		}
+		for j := range want.CtxBlocks {
+			if g.CtxBlocks[j] != want.CtxBlocks[j] {
+				t.Fatalf("prefetch %d ctx block %d: got %d, want %d", i, j, g.CtxBlocks[j], want.CtxBlocks[j])
+			}
+		}
 	}
 	// The rewritten program must simulate identically to the original build.
 	s1 := sim.Run(b.Prog, workload.NewExecutor(w, in), cfg, nil)
@@ -164,7 +190,7 @@ func TestBuildRoundTrip(t *testing.T) {
 func TestCorruptEntriesFallBackToMiss(t *testing.T) {
 	c := testCache(t)
 	k := statsKey("base")
-	c.StoreStats(k, &sim.Stats{Cycles: 999, BaseInstrs: 10})
+	c.StoreStats(context.Background(), k, &sim.Stats{Cycles: 999, BaseInstrs: 10})
 	path := filepath.Join(c.Dir(), k.Filename())
 	orig, err := os.ReadFile(path)
 	if err != nil {
@@ -182,14 +208,14 @@ func TestCorruptEntriesFallBackToMiss(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := c.LoadStats(k); ok {
+		if _, ok := c.LoadStats(context.Background(), k); ok {
 			t.Errorf("%s entry served as a hit", name)
 		}
 	}
 
 	// After corruption, a store must repair the entry.
-	c.StoreStats(k, &sim.Stats{Cycles: 999, BaseInstrs: 10})
-	if got, ok := c.LoadStats(k); !ok || got.Cycles != 999 {
+	c.StoreStats(context.Background(), k, &sim.Stats{Cycles: 999, BaseInstrs: 10})
+	if got, ok := c.LoadStats(context.Background(), k); !ok || got.Cycles != 999 {
 		t.Error("store after corruption did not repair the entry")
 	}
 }
@@ -203,11 +229,11 @@ func flipByte(b []byte, i int) []byte {
 func TestNilCacheIsBypass(t *testing.T) {
 	var c *Cache
 	k := statsKey("base")
-	c.StoreStats(k, &sim.Stats{Cycles: 1})
-	if _, ok := c.LoadStats(k); ok {
+	c.StoreStats(context.Background(), k, &sim.Stats{Cycles: 1})
+	if _, ok := c.LoadStats(context.Background(), k); ok {
 		t.Error("nil cache hit")
 	}
-	if _, ok := c.LoadBuild(k); ok {
+	if _, ok := c.LoadBuild(context.Background(), k); ok {
 		t.Error("nil cache hit")
 	}
 	if c.Enabled() || c.Dir() != "" {

@@ -1,0 +1,129 @@
+package artifacts
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ispy/internal/faults"
+	"ispy/internal/sim"
+)
+
+// TestDeadlinePropagatesIntoCacheIO proves the -timeout contract at the
+// artifact layer: a dead run context makes loads miss and stores no-ops
+// without publishing partial state. Crucially, an abandonment carries no
+// I/O verdict — OnIO must stay silent, because the disk may be perfectly
+// healthy and a client-chosen deadline must not feed the server's circuit
+// breaker (a short timeout would otherwise open it and degrade caching for
+// every other request).
+func TestDeadlinePropagatesIntoCacheIO(t *testing.T) {
+	c := testCache(t)
+	var mu sync.Mutex
+	var failures []error
+	c.OnIO(func(op string, err error) {
+		if err != nil {
+			mu.Lock()
+			failures = append(failures, err)
+			mu.Unlock()
+		}
+	})
+	k := NewKey("stats", "app").Uint(1)
+	live := &sim.Stats{Cycles: 77}
+
+	cause := errors.New("run exceeded -timeout 1ns")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+
+	// Store under a dead context: the entry must not appear.
+	c.StoreStats(ctx, k, live)
+	if _, err := os.Stat(filepath.Join(c.Dir(), k.Filename())); err == nil {
+		t.Fatal("store under a cancelled context published an entry")
+	}
+
+	// Seed the entry with a healthy context, then load under the dead one:
+	// the load must miss instead of waiting on disk.
+	c.StoreStats(context.Background(), k, live)
+	if _, ok := c.LoadStats(ctx, k); ok {
+		t.Fatal("load under a cancelled context returned a hit")
+	}
+	if got, ok := c.LoadStats(context.Background(), k); !ok || got.Cycles != 77 {
+		t.Fatal("entry damaged by the abandoned operations")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, err := range failures {
+		if errors.Is(err, cause) {
+			t.Errorf("OnIO reported abandonment %v as an I/O failure; abandoned operations carry no verdict", err)
+		}
+	}
+}
+
+// TestConcurrentAccessUnderFaults is the sharing pattern the analysis server
+// relies on: many goroutines hammering one cache over a small key set while
+// the seeded injector corrupts reads and tears writes. The invariant is that
+// a load only ever returns the canonical value for its key — corruption must
+// surface as a miss (and eviction), never as wrong data — and a final
+// fault-free sweep finds every entry either absent or intact. The run is
+// replayable: outcomes depend only on the seed and the per-site hit order.
+func TestConcurrentAccessUnderFaults(t *testing.T) {
+	c := testCache(t)
+	inj := faults.New(20260807)
+	inj.Enable("artifacts.read", faults.Rule{Kind: faults.Corrupt, Prob: 0.4})
+	inj.Enable("artifacts.write", faults.Rule{Kind: faults.ShortWrite, Prob: 0.4})
+	c.SetFaults(inj)
+
+	const keys = 4
+	const workers = 8
+	const iters = 40
+	canon := func(i int) *sim.Stats {
+		return &sim.Stats{Cycles: uint64(1000 + i), BaseInstrs: uint64(10 * (i + 1)), L1IMisses: uint64(i)}
+	}
+	key := func(i int) *Key { return NewKey("stats", "app").Uint(uint64(i)) }
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*iters)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (w + it) % keys
+				want := canon(i)
+				if it%2 == 0 {
+					c.StoreStats(context.Background(), key(i), want)
+				}
+				got, ok := c.LoadStats(context.Background(), key(i))
+				if !ok {
+					continue // miss: injected fault or eviction; always legal
+				}
+				if got.Cycles != want.Cycles || got.BaseInstrs != want.BaseInstrs || got.L1IMisses != want.L1IMisses {
+					errs <- "load returned non-canonical data for key"
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	// Fault-free sweep: disarm the injector, store every key once, and check
+	// each survives byte-consistently despite the torn writes before it.
+	c.SetFaults(nil)
+	for i := 0; i < keys; i++ {
+		c.StoreStats(context.Background(), key(i), canon(i))
+		got, ok := c.LoadStats(context.Background(), key(i))
+		if !ok || got.Cycles != canon(i).Cycles {
+			t.Fatalf("key %d: post-chaos store/load failed (ok=%v)", i, ok)
+		}
+	}
+	if inj.Fired("artifacts.*") == 0 {
+		t.Fatal("injector never fired; the test exercised nothing")
+	}
+}

@@ -1,6 +1,7 @@
 package artifacts
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -13,7 +14,7 @@ import (
 func storedEntry(t *testing.T, c *Cache, k *Key) (string, []byte) {
 	t.Helper()
 	s := &sim.Stats{Cycles: 4242, BaseInstrs: 999, L1IMisses: 7}
-	c.StoreStats(k, s)
+	c.StoreStats(context.Background(), k, s)
 	path := filepath.Join(c.Dir(), k.Filename())
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -33,7 +34,7 @@ func TestReadEntryNeverPanicsOnMutation(t *testing.T) {
 	k := statsKey("base")
 	path, data := storedEntry(t, c, k)
 
-	if got := c.readEntry(k); got == nil {
+	if got := c.readEntry(context.Background(), k); got == nil {
 		t.Fatal("pristine entry did not verify")
 	}
 
@@ -44,7 +45,7 @@ func TestReadEntryNeverPanicsOnMutation(t *testing.T) {
 		if err := os.WriteFile(path, mut, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if got := c.readEntry(k); got != nil {
+		if got := c.readEntry(context.Background(), k); got != nil {
 			t.Fatalf("%s: damaged entry verified (sections=%d)", label, len(got))
 		}
 		if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -70,8 +71,8 @@ func TestReadEntryNeverPanicsOnMutation(t *testing.T) {
 	}
 
 	// After eviction the next store must repair the entry cleanly.
-	c.StoreStats(k, &sim.Stats{Cycles: 4242})
-	if got, ok := c.LoadStats(k); !ok || got.Cycles != 4242 {
+	c.StoreStats(context.Background(), k, &sim.Stats{Cycles: 4242})
+	if got, ok := c.LoadStats(context.Background(), k); !ok || got.Cycles != 4242 {
 		t.Errorf("repair after eviction failed (ok=%v)", ok)
 	}
 }
@@ -109,7 +110,7 @@ func TestStaleVersionEvicted(t *testing.T) {
 	if err := os.WriteFile(path, mut, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if c.readEntry(k) != nil {
+	if c.readEntry(context.Background(), k) != nil {
 		t.Fatal("stale-version entry verified")
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -131,16 +132,16 @@ func TestTornWriteDegradesToMiss(t *testing.T) {
 	c.SetFaults(inj)
 
 	k := statsKey("base")
-	c.StoreStats(k, &sim.Stats{Cycles: 1})
-	if _, ok := c.LoadStats(k); ok {
+	c.StoreStats(context.Background(), k, &sim.Stats{Cycles: 1})
+	if _, ok := c.LoadStats(context.Background(), k); ok {
 		t.Fatal("torn entry reported a hit")
 	}
 	if evicted != 1 {
 		t.Errorf("torn entry evictions = %d, want 1", evicted)
 	}
 	// The injector is spent (Count: 1): the re-store persists fully.
-	c.StoreStats(k, &sim.Stats{Cycles: 2})
-	if got, ok := c.LoadStats(k); !ok || got.Cycles != 2 {
+	c.StoreStats(context.Background(), k, &sim.Stats{Cycles: 2})
+	if got, ok := c.LoadStats(context.Background(), k); !ok || got.Cycles != 2 {
 		t.Errorf("re-store after torn write failed (ok=%v)", ok)
 	}
 }
@@ -156,11 +157,11 @@ func TestWriteErrorSkipsStore(t *testing.T) {
 	c.SetFaults(inj)
 
 	k := statsKey("base")
-	c.StoreStats(k, &sim.Stats{Cycles: 5})
+	c.StoreStats(context.Background(), k, &sim.Stats{Cycles: 5})
 	if entries, _ := os.ReadDir(c.Dir()); len(entries) != 0 {
 		t.Errorf("write error still persisted %d files", len(entries))
 	}
-	if _, ok := c.LoadStats(k); ok {
+	if _, ok := c.LoadStats(context.Background(), k); ok {
 		t.Error("load hit with nothing on disk")
 	}
 	if evicted != 0 {

@@ -33,14 +33,14 @@ func (l *Lab) stats(k *artifacts.Key, compute func() *sim.Stats) *sim.Stats {
 		l.tel.CacheBypass(kind)
 		return timed(l, kind, compute)
 	}
-	if s, ok := l.cache.LoadStats(k); ok {
+	if s, ok := l.cache.LoadStats(l.ctx, k); ok {
 		l.tel.CacheHit(kind)
 		l.tel.Progressf("hit      %s", k.Filename())
 		return s
 	}
 	l.tel.CacheMiss(kind)
 	s := timed(l, kind, compute)
-	l.cache.StoreStats(k, s)
+	l.cache.StoreStats(l.ctx, k, s)
 	return s
 }
 
@@ -53,14 +53,14 @@ func (l *Lab) profile(k *artifacts.Key, w *workload.Workload, in workload.Input,
 		l.tel.CacheBypass(kind)
 		return timed(l, kind, compute)
 	}
-	if p, ok := l.cache.LoadProfile(k, w, in); ok {
+	if p, ok := l.cache.LoadProfile(l.ctx, k, w, in); ok {
 		l.tel.CacheHit(kind)
 		l.tel.Progressf("hit      %s", k.Filename())
 		return p
 	}
 	l.tel.CacheMiss(kind)
 	p := timed(l, kind, compute)
-	l.cache.StoreProfile(k, p)
+	l.cache.StoreProfile(l.ctx, k, p)
 	return p
 }
 
@@ -74,14 +74,14 @@ func (l *Lab) build(k *artifacts.Key, compute func() *core.Build) *core.Build {
 		l.tel.CacheBypass(kind)
 		return timed(l, kind, compute)
 	}
-	if b, ok := l.cache.LoadBuild(k); ok {
+	if b, ok := l.cache.LoadBuild(l.ctx, k); ok {
 		l.tel.CacheHit(kind)
 		l.tel.Progressf("hit      %s", k.Filename())
 		return b
 	}
 	l.tel.CacheMiss(kind)
 	b := timed(l, kind, compute)
-	l.cache.StoreBuild(k, b)
+	l.cache.StoreBuild(l.ctx, k, b)
 	return b
 }
 

@@ -132,9 +132,58 @@ type Lab struct {
 // cancelled.
 func NewLab(cfg Config) *Lab { return NewLabContext(context.Background(), cfg) }
 
+// Shared bundles run infrastructure owned by something longer-lived than one
+// lab — the analysis server shares one pool, one artifact cache, and one
+// telemetry sink across every concurrent request's lab. Nil fields fall back
+// to per-lab defaults (a fresh pool / no cache / a fresh telemetry).
+type Shared struct {
+	// Pool is the worker pool to submit all tasks to. Its size caps the
+	// lab's parallelism regardless of Config.Jobs.
+	Pool *Pool
+	// Cache is an already-open artifact cache. The owner is responsible for
+	// wiring OnEvict/OnIO/SetFaults once at startup; the lab will not mutate
+	// a shared cache's hooks.
+	Cache *artifacts.Cache
+	// Telemetry aggregates artifact counters across labs.
+	Telemetry *metrics.Telemetry
+}
+
+// NewLabShared creates a lab over cfg that runs on shared infrastructure
+// instead of owning its own: Config.CacheDir and Config.Jobs are ignored in
+// favor of sh.Cache and sh.Pool. Cancellation semantics are those of
+// NewLabContext.
+func NewLabShared(ctx context.Context, cfg Config, sh Shared) *Lab {
+	cfg.CacheDir = "" // the shared cache is already open; never reopen it
+	l := newLab(ctx, cfg, sh.Pool)
+	if sh.Cache != nil {
+		l.cache = sh.Cache
+	}
+	if sh.Telemetry != nil {
+		l.tel = sh.Telemetry
+	}
+	return l
+}
+
 // NewLabContext creates a lab whose run is governed by ctx: cancellation
 // skips queued work, and the skips are accounted in the run report.
 func NewLabContext(ctx context.Context, cfg Config) *Lab {
+	l := newLab(ctx, cfg, nil)
+	if l.Cfg.CacheDir != "" {
+		c, err := artifacts.Open(l.Cfg.CacheDir)
+		if err != nil {
+			l.cacheErr = err
+		} else {
+			l.cache = c
+			c.OnEvict(func(kind string) { l.tel.CacheEvict(kind) })
+			c.SetFaults(l.Cfg.Faults)
+		}
+	}
+	return l
+}
+
+// newLab builds the lab core: config defaulting, pool sizing (or adoption of
+// a shared pool), shard budgeting, telemetry and report plumbing.
+func newLab(ctx context.Context, cfg Config, pool *Pool) *Lab {
 	d := DefaultConfig()
 	if len(cfg.Apps) == 0 {
 		cfg.Apps = d.Apps
@@ -152,7 +201,11 @@ func NewLabContext(ctx context.Context, cfg Config) *Lab {
 		cfg.SweepWarmup = d.SweepWarmup
 	}
 	jobs := 1
-	if cfg.Parallel {
+	if pool != nil {
+		// A shared pool's size is the whole parallelism budget; Config.Jobs
+		// only sizes pools the lab owns.
+		jobs = pool.Size()
+	} else if cfg.Parallel {
 		jobs = cfg.Jobs
 		if jobs <= 0 {
 			jobs = runtime.GOMAXPROCS(0)
@@ -176,27 +229,19 @@ func NewLabContext(ctx context.Context, cfg Config) *Lab {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	l := &Lab{
+	if pool == nil {
+		pool = NewPool(jobs)
+	}
+	return &Lab{
 		Cfg:    cfg,
 		ctx:    ctx,
 		apps:   make(map[string]*App),
-		pool:   NewPool(jobs),
+		pool:   pool,
 		shards: shards,
 		tel:    metrics.NewTelemetry(out),
 		report: NewReport(),
 		faults: cfg.Faults,
 	}
-	if cfg.CacheDir != "" {
-		c, err := artifacts.Open(cfg.CacheDir)
-		if err != nil {
-			l.cacheErr = err
-		} else {
-			l.cache = c
-			c.OnEvict(func(kind string) { l.tel.CacheEvict(kind) })
-			c.SetFaults(cfg.Faults)
-		}
-	}
-	return l
 }
 
 // Telemetry returns the lab's run telemetry (never nil).

@@ -334,8 +334,14 @@ func (in *Injector) Fired(pattern string) int {
 // panic and prob (default 1) is the per-hit firing probability. Example:
 //
 //	artifacts.write=short:0.5,compute/*/wordpress=panic
+//
+// Each pattern may appear at most once: rule matching is first-match-wins,
+// so a second clause for the same pattern could never fire, and silently
+// ignoring it would make the spec lie about the chaos being injected.
+// Duplicates are an error naming the offending clause.
 func ParseSpec(seed uint64, spec string) (*Injector, error) {
 	in := New(seed)
+	seen := make(map[string]string) // pattern → first clause using it
 	for _, clause := range strings.Split(spec, ",") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
@@ -345,6 +351,11 @@ func ParseSpec(seed uint64, spec string) (*Injector, error) {
 		if !ok || pattern == "" || rhs == "" {
 			return nil, fmt.Errorf("faults: clause %q is not pattern=kind[:prob]", clause)
 		}
+		if first, dup := seen[pattern]; dup {
+			return nil, fmt.Errorf("faults: duplicate clause %q for pattern %q (already specified as %q; only the first would ever fire)",
+				clause, pattern, first)
+		}
+		seen[pattern] = clause
 		kindName, probStr, hasProb := strings.Cut(rhs, ":")
 		var kind Kind
 		switch kindName {

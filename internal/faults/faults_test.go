@@ -227,3 +227,29 @@ func TestParseSpec(t *testing.T) {
 		t.Error("empty spec should parse to no rules")
 	}
 }
+
+func TestParseSpecRejectsDuplicatePatterns(t *testing.T) {
+	_, err := ParseSpec(1, "artifacts.read=error,compute/*=latency,artifacts.read=corrupt:0.5")
+	if err == nil {
+		t.Fatal("duplicate pattern accepted; the second clause could never fire")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`"artifacts.read=corrupt:0.5"`, // the offending clause, verbatim
+		`"artifacts.read"`,             // the duplicated pattern
+		`"artifacts.read=error"`,       // the clause it collides with
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not name %s", msg, want)
+		}
+	}
+
+	// Distinct patterns that merely overlap (prefix vs glob) are fine.
+	if _, err := ParseSpec(1, "compute/*=panic,compute/*/wordpress=error"); err != nil {
+		t.Errorf("overlapping-but-distinct patterns rejected: %v", err)
+	}
+	// The duplicate check is per-pattern, not per-kind.
+	if _, err := ParseSpec(1, "a=error,a=error"); err == nil {
+		t.Error("identical duplicate clause accepted")
+	}
+}

@@ -1,0 +1,288 @@
+// Package server is ispy-as-a-service: a long-running HTTP front end over
+// the experiments harness. Each request builds a short-lived Lab on shared
+// infrastructure (one worker pool, one artifact cache, one telemetry sink —
+// experiments.Shared), so concurrent requests contend for cores in one place
+// and share warm artifacts, while per-request state (memos, report) stays
+// isolated — a panicking attempt can never poison a later request.
+//
+// Robustness model (DESIGN.md §12):
+//
+//   - Transient compute/artifact failures are retried with a deterministic
+//     seeded backoff schedule (internal/resilience). Every retry rebuilds the
+//     lab from scratch, so memoized panic replays cannot leak across attempts.
+//   - Repeated artifact-layer failures trip a circuit breaker fed by the
+//     cache's OnIO observer; while the circuit is open, requests are served
+//     in degraded mode (cache bypassed, everything recomputed). Because the
+//     pipeline is deterministic and response bodies carry no timing, a
+//     degraded response is byte-identical to a cached one.
+//   - Per-request deadlines propagate through the lab into artifact-cache
+//     I/O; an expired request answers 504 with a structured error while any
+//     straggling compute finishes (and is abandoned) in the background.
+//   - SIGTERM drains: readiness flips to 503, new work is shed, in-flight
+//     requests complete (http.Server.Shutdown semantics).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ispy/internal/artifacts"
+	"ispy/internal/core"
+	"ispy/internal/experiments"
+	"ispy/internal/faults"
+	"ispy/internal/metrics"
+	"ispy/internal/resilience"
+	"ispy/internal/sim"
+	"ispy/internal/workload"
+)
+
+// Config configures a Server. The zero value serves quick-budget analyses
+// with three retry attempts, no cache, and a 30s default deadline.
+type Config struct {
+	// Lab is the base lab configuration each request derives from (budget
+	// fields only; Apps/Jobs/CacheDir are managed by the server). Zero
+	// budgets take experiments.QuickConfig values.
+	Lab experiments.Config
+	// CacheDir, when non-empty, persists artifacts across requests.
+	CacheDir string
+	// Jobs sizes the shared worker pool (default GOMAXPROCS).
+	Jobs int
+	// DefaultTimeout/MaxTimeout bound per-request deadlines: requests that
+	// name no timeout get DefaultTimeout (30s), and no request may exceed
+	// MaxTimeout (2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Retry is the per-request retry policy (default: 3 attempts, 5ms base
+	// backoff capped at 100ms, jitter 0.5, seeded with Seed).
+	Retry resilience.Policy
+	// BreakerThreshold / BreakerCooldown configure the artifact-layer
+	// circuit breaker (resilience.NewBreaker defaults apply to zeros).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed seeds retry jitter (and is echoed into Retry.Seed when unset).
+	Seed uint64
+	// Faults, when non-nil, arms deterministic chaos at the harness's
+	// tagged sites (compute/*, artifacts.read, artifacts.write). Soak only.
+	Faults *faults.Injector
+	// Log, when non-nil, receives one line per degraded or shed request.
+	Log io.Writer
+}
+
+// Server is the analysis service. Create with New; serve via Handler or
+// Serve. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	pool    *experiments.Pool
+	cache   *artifacts.Cache
+	tel     *metrics.Telemetry
+	reqs    *metrics.Requests
+	breaker *resilience.Breaker
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+}
+
+// New builds a server: defaults applied, pool created, cache opened (with
+// the breaker wired to its I/O observer and chaos armed, once — labs never
+// mutate a shared cache's hooks).
+func New(cfg Config) (*Server, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = resilience.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			Jitter:      0.5,
+		}
+	}
+	if cfg.Retry.Seed == 0 {
+		cfg.Retry.Seed = cfg.Seed
+	}
+	q := experiments.QuickConfig()
+	if cfg.Lab.MeasureInstrs == 0 {
+		cfg.Lab.MeasureInstrs = q.MeasureInstrs
+	}
+	if cfg.Lab.WarmupInstrs == 0 {
+		cfg.Lab.WarmupInstrs = q.WarmupInstrs
+	}
+	if cfg.Lab.SweepInstrs == 0 {
+		cfg.Lab.SweepInstrs = q.SweepInstrs
+	}
+	if cfg.Lab.SweepWarmup == 0 {
+		cfg.Lab.SweepWarmup = q.SweepWarmup
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		pool:    experiments.NewPool(cfg.Jobs),
+		tel:     metrics.NewTelemetry(nil),
+		reqs:    metrics.NewRequests(),
+		breaker: resilience.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
+	if cfg.CacheDir != "" {
+		c, err := artifacts.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: cache: %w", err)
+		}
+		c.OnEvict(func(kind string) { s.tel.CacheEvict(kind) })
+		c.OnIO(func(op string, err error) { s.breaker.Record(err == nil) })
+		c.SetFaults(cfg.Faults)
+		s.cache = c
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain flips the server into draining mode: /readyz answers 503 and
+// new analysis requests are shed with a structured error. In-flight
+// requests are unaffected.
+func (s *Server) StartDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.logf("draining: new analysis requests will be shed")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Requests returns the per-request telemetry counters.
+func (s *Server) Requests() *metrics.Requests { return s.reqs }
+
+// Breaker returns the artifact-layer circuit breaker (for tests and soak).
+func (s *Server) Breaker() *resilience.Breaker { return s.breaker }
+
+// Serve serves s on l until ctx is cancelled, then drains: readiness flips,
+// the listener closes, and in-flight requests get drainTimeout to finish.
+// A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.StartDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		done <- hs.Shutdown(sctx)
+	}()
+	if err := hs.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Serve returned because Shutdown closed the listener; wait for the
+	// drain itself so in-flight requests finish before we report done.
+	if ctx.Err() != nil {
+		return <-done
+	}
+	return nil
+}
+
+// logf writes one operational log line when Config.Log is set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "ispyd: "+format+"\n", args...)
+}
+
+// labConfig derives the per-request lab configuration: one app, the shared
+// budgets (rescaled when the request names an instruction budget), chaos
+// armed at compute sites.
+func (s *Server) labConfig(app string, instrs uint64) experiments.Config {
+	lcfg := s.cfg.Lab
+	lcfg.Apps = []string{app}
+	lcfg.Parallel = true
+	lcfg.Jobs = 0
+	lcfg.CacheDir = ""
+	lcfg.Verbose = false
+	lcfg.Faults = s.cfg.Faults
+	if instrs > 0 {
+		lcfg = lcfg.WithMeasureInstrs(instrs)
+	}
+	return lcfg
+}
+
+// analyzeApp runs the full pipeline (baseline run, I-SPY analysis +
+// coalescing + injection, evaluation run) for one app under ctx, retrying
+// transient failures. Each attempt gets a fresh lab; the artifact cache is
+// bypassed while the circuit is open.
+func (s *Server) analyzeApp(ctx context.Context, app string, instrs uint64) (*AnalyzeResponse, error) {
+	if err := knownApp(app); err != nil {
+		return nil, err
+	}
+	lcfg := s.labConfig(app, instrs)
+
+	var resp *AnalyzeResponse
+	op := func(ctx context.Context) error {
+		cache := s.cache
+		if cache != nil && !s.breaker.Allow() {
+			cache = nil
+			s.reqs.Degraded()
+			s.logf("circuit open: serving %s without the artifact cache", app)
+		}
+		lab := experiments.NewLabShared(ctx, lcfg, experiments.Shared{
+			Pool: s.pool, Cache: cache, Telemetry: s.tel,
+		})
+		if err := lab.Validate(); err != nil {
+			return resilience.Permanent(&apiError{status: http.StatusBadRequest, code: "bad_config", msg: err.Error()})
+		}
+		a := lab.App(app)
+		var base, ispy *sim.Stats
+		var build *core.Build
+		err := lab.Attempt(app, "serve/analyze", func() error {
+			base = a.Base()
+			build = a.ISPY()
+			ispy = a.ISPYStats()
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				// The deadline, not the fault, is what the client should
+				// see; retrying against a dead context cannot succeed.
+				return resilience.Permanent(context.Cause(ctx))
+			}
+			return err
+		}
+		resp = newAnalyzeResponse(app, lcfg.MeasureInstrs, base, ispy, build.Plan)
+		return nil
+	}
+	err := resilience.Retry(ctx, s.cfg.Retry, "serve/"+app, op, func(attempt int, delay time.Duration) {
+		s.reqs.Retry()
+		s.logf("retrying %s (attempt %d failed; backing off %v)", app, attempt, delay)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// knownApp validates an app name against the workload presets.
+func knownApp(app string) error {
+	if app == "" {
+		return &apiError{status: http.StatusBadRequest, code: "bad_request", msg: "missing app name"}
+	}
+	for _, n := range workload.AppNames {
+		if n == app {
+			return nil
+		}
+	}
+	return &apiError{status: http.StatusNotFound, code: "unknown_app",
+		msg: fmt.Sprintf("unknown app %q (valid: cassandra…wordpress; see /statusz)", app)}
+}

@@ -1,0 +1,402 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ispy/internal/experiments"
+	"ispy/internal/faults"
+	"ispy/internal/profile"
+	"ispy/internal/sim"
+	"ispy/internal/traceio"
+	"ispy/internal/workload"
+)
+
+// testConfig keeps budgets small enough for -race CI runs.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Lab:            quickLabFor(60_000),
+		DefaultTimeout: 30 * time.Second,
+	}
+}
+
+func quickLabFor(instrs uint64) (c experiments.Config) {
+	c.MeasureInstrs = instrs
+	c.WarmupInstrs = instrs / 3
+	c.SweepInstrs = instrs / 2
+	c.SweepWarmup = instrs / 4
+	return c
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func analyze(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz = %d", w.Code)
+	}
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Errorf("readyz = %d before drain", w.Code)
+	}
+	s.StartDrain()
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz = %d while draining (liveness must hold)", w.Code)
+	}
+	if w := get("/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz = %d while draining, want 503", w.Code)
+	}
+	// Draining sheds new analysis work with a structured error.
+	w := analyze(t, s, `{"app":"wordpress"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("analyze while draining = %d, want 503", w.Code)
+	}
+	if _, ok := structuredError(w.Body.Bytes()); !ok {
+		t.Errorf("shed body is not a structured error: %s", w.Body)
+	}
+	if s.Requests().Snapshot().Shed != 1 {
+		t.Errorf("shed counter = %+v", s.Requests().Snapshot())
+	}
+}
+
+func TestAnalyzeDeterministicAndCached(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.CacheDir = t.TempDir()
+	s := newTestServer(t, cfg)
+
+	w1 := analyze(t, s, `{"app":"wordpress"}`)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("analyze = %d: %s", w1.Code, w1.Body)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(w1.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.App != "wordpress" || resp.Baseline.Cycles == 0 || resp.ISPY.Cycles == 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Plan.Prefetches == 0 || resp.Speedup <= 0 {
+		t.Fatalf("empty plan or speedup: %+v", resp)
+	}
+
+	// Identical request, now cache-warm: the body must be byte-identical —
+	// the deterministic-response contract that makes chaos soaks checkable.
+	w2 := analyze(t, s, `{"app":"wordpress"}`)
+	if !bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatal("cache-warm response differs from cold response")
+	}
+
+	// A fresh server over the same cache dir — still byte-identical (the
+	// persisted build round-trips the full injection plan).
+	s2 := newTestServer(t, cfg)
+	w3 := analyze(t, s2, `{"app":"wordpress"}`)
+	if !bytes.Equal(w1.Body.Bytes(), w3.Body.Bytes()) {
+		t.Fatal("response across server restarts differs")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	cases := []struct {
+		body string
+		want int
+		code string
+	}{
+		{`not json`, http.StatusBadRequest, "bad_request"},
+		{`{"app":""}`, http.StatusBadRequest, "bad_request"},
+		{`{"app":"hhvm-prod"}`, http.StatusNotFound, "unknown_app"},
+		{`{"app":"wordpress","instrs":5}`, http.StatusBadRequest, "bad_request"},
+		{`{"app":"wordpress","bogus":1}`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, c := range cases {
+		w := analyze(t, s, c.body)
+		if w.Code != c.want {
+			t.Errorf("analyze(%s) = %d, want %d (%s)", c.body, w.Code, c.want, w.Body)
+			continue
+		}
+		msg, ok := structuredError(w.Body.Bytes())
+		if !ok || !strings.HasPrefix(msg, c.code) {
+			t.Errorf("analyze(%s) error body %q, want code %s", c.body, w.Body, c.code)
+		}
+	}
+	snap := s.Requests().Snapshot()
+	if snap.ClientError != uint64(len(cases)) {
+		t.Errorf("client-error counter = %+v after %d bad requests", snap, len(cases))
+	}
+}
+
+func TestAnalyzeDeadline(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	w := analyze(t, s, `{"app":"wordpress","timeout_millis":1}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline-doomed analyze = %d: %s", w.Code, w.Body)
+	}
+	msg, ok := structuredError(w.Body.Bytes())
+	if !ok || !strings.HasPrefix(msg, "deadline_exceeded") {
+		t.Fatalf("timeout body = %s", w.Body)
+	}
+	if snap := s.Requests().Snapshot(); snap.Timeout != 1 {
+		t.Errorf("timeout counter = %+v", snap)
+	}
+
+	// A client-chosen deadline must not poison the circuit breaker: the
+	// straggler's abandoned cache I/O carries no verdict, so the breaker
+	// stays closed and later requests keep full caching. The follow-up
+	// analyze doubles as a health check and gives the detached pipeline
+	// time to finish before the breaker is inspected.
+	if w := analyze(t, s, `{"app":"wordpress"}`); w.Code != http.StatusOK {
+		t.Fatalf("analyze after timeout = %d: %s", w.Code, w.Body)
+	}
+	if trips := s.Breaker().Trips(); trips != 0 {
+		t.Errorf("breaker tripped %d time(s) from deadline abandonment alone", trips)
+	}
+}
+
+// TestRetryRecoversFromTransientFaults: a compute fault that fires exactly
+// once panics the first attempt; the retry layer contains it, rebuilds the
+// lab, and the response is byte-identical to an undisturbed run.
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	clean := newTestServer(t, testConfig(t))
+	want := analyze(t, clean, `{"app":"tomcat"}`)
+	if want.Code != http.StatusOK {
+		t.Fatalf("clean analyze = %d", want.Code)
+	}
+
+	inj := faults.New(7)
+	inj.Enable("compute/base/tomcat", faults.Rule{Kind: faults.Panic, Count: 1})
+	cfg := testConfig(t)
+	cfg.Faults = inj
+	s := newTestServer(t, cfg)
+	got := analyze(t, s, `{"app":"tomcat"}`)
+	if got.Code != http.StatusOK {
+		t.Fatalf("faulted analyze = %d: %s", got.Code, got.Body)
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatal("retried response differs from undisturbed response")
+	}
+	if inj.Fired("compute/*") != 1 {
+		t.Fatalf("fault fired %d times, want 1", inj.Fired("compute/*"))
+	}
+	if snap := s.Requests().Snapshot(); snap.Retries == 0 || snap.OK != 1 {
+		t.Errorf("retry accounting = %+v", snap)
+	}
+}
+
+// TestRetriesExhaustedIsStructured: a fault that never stops firing turns
+// into a 503 with the retries_exhausted code — not a panic, not a 200.
+func TestRetriesExhaustedIsStructured(t *testing.T) {
+	inj := faults.New(7)
+	inj.Enable("compute/base/tomcat", faults.Rule{Kind: faults.Panic})
+	cfg := testConfig(t)
+	cfg.Faults = inj
+	s := newTestServer(t, cfg)
+	w := analyze(t, s, `{"app":"tomcat"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted analyze = %d: %s", w.Code, w.Body)
+	}
+	msg, ok := structuredError(w.Body.Bytes())
+	if !ok || !strings.HasPrefix(msg, "retries_exhausted") {
+		t.Fatalf("exhausted body = %s", w.Body)
+	}
+	if fired := inj.Fired("compute/*"); fired != 3 {
+		t.Errorf("fault fired %d times, want one per attempt (3)", fired)
+	}
+}
+
+// TestBreakerDegradesToCacheBypass: once the artifact layer fails enough
+// consecutive times, the circuit opens and requests are served without the
+// cache — same bytes, degraded counter ticking.
+func TestBreakerDegradesToCacheBypass(t *testing.T) {
+	clean := newTestServer(t, testConfig(t))
+	want := analyze(t, clean, `{"app":"wordpress"}`)
+
+	inj := faults.New(3)
+	inj.Enable("artifacts.write", faults.Rule{Kind: faults.Error})
+	inj.Enable("artifacts.read", faults.Rule{Kind: faults.Error})
+	cfg := testConfig(t)
+	cfg.CacheDir = t.TempDir()
+	cfg.Faults = inj
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour // stays open for the whole test
+	s := newTestServer(t, cfg)
+
+	// First request trips the breaker (every read and write errors).
+	w1 := analyze(t, s, `{"app":"wordpress"}`)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("tripping analyze = %d: %s", w1.Code, w1.Body)
+	}
+	if got := s.Breaker().State().String(); got != "open" {
+		t.Fatalf("breaker state = %s after sustained artifact failures", got)
+	}
+	// Second request must bypass the cache entirely and still serve the
+	// canonical bytes.
+	w2 := analyze(t, s, `{"app":"wordpress"}`)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("degraded analyze = %d: %s", w2.Code, w2.Body)
+	}
+	if !bytes.Equal(w2.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatal("degraded response differs from canonical response")
+	}
+	snap := s.Requests().Snapshot()
+	if snap.Degraded == 0 {
+		t.Errorf("degraded counter = %+v", snap)
+	}
+	if fired := inj.Fired("artifacts.*"); fired == 0 {
+		t.Error("artifact faults never fired")
+	}
+}
+
+func TestStatusz(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	analyze(t, s, `{"app":"nope"}`)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("statusz = %d", w.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.Total != 1 || st.Requests.ClientError != 1 {
+		t.Errorf("statusz requests = %+v", st.Requests)
+	}
+	if st.Breaker != "closed" || st.Draining || st.Cache {
+		t.Errorf("statusz = %+v", st)
+	}
+	if len(st.Apps) != len(workload.AppNames) {
+		t.Errorf("statusz lists %d apps", len(st.Apps))
+	}
+}
+
+// TestProfileUploadMatchesCollectedProfile: bytes produced the way
+// `ispy-profile collect` writes them analyze end-to-end over HTTP.
+func TestProfileUploadMatchesCollectedProfile(t *testing.T) {
+	w := workload.Preset("verilator")
+	in := workload.DefaultInput(w)
+	scfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
+	scfg.MaxInstrs = 60_000
+	scfg.WarmupInstrs = 20_000
+	prof := profile.Collect(w, in, scfg)
+
+	var buf bytes.Buffer
+	pd := &traceio.ProfileData{
+		WorkloadName:   w.Name,
+		WorkloadSeed:   w.Params.Seed,
+		InputName:      in.Name,
+		InputSeed:      in.Seed,
+		TotalMisses:    prof.Graph.TotalMisses,
+		AvgHashDensity: prof.AvgHashDensity,
+		BaseCycles:     prof.Stats.Cycles,
+		BaseInstrs:     prof.Stats.BaseInstrs,
+		Graph:          prof.Graph,
+	}
+	if err := traceio.WriteProfile(&buf, pd); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, testConfig(t))
+	post := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/profile/analyze?instrs=60000",
+			bytes.NewReader(buf.Bytes()))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		return rec
+	}
+	r1 := post()
+	if r1.Code != http.StatusOK {
+		t.Fatalf("profile analyze = %d: %s", r1.Code, r1.Body)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(r1.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.App != "verilator" || resp.ISPY.Cycles == 0 || resp.Plan.Prefetches == 0 {
+		t.Fatalf("profile response = %+v", resp)
+	}
+	r2 := post()
+	if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+		t.Fatal("identical profile uploads produced different bytes")
+	}
+
+	// Garbage bytes are a structured 400, not a panic.
+	req := httptest.NewRequest(http.MethodPost, "/v1/profile/analyze", strings.NewReader("garbage"))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage profile = %d", rec.Code)
+	}
+	if msg, ok := structuredError(rec.Body.Bytes()); !ok || !strings.HasPrefix(msg, "bad_profile") {
+		t.Fatalf("garbage profile body = %s", rec.Body)
+	}
+}
+
+// TestConcurrentMixedRequestsShareOnePool: distinct apps analyzed
+// concurrently against one server must each match their sequential bytes —
+// cross-request isolation despite the shared pool, cache, and telemetry.
+func TestConcurrentMixedRequestsShareOnePool(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.CacheDir = t.TempDir()
+	s := newTestServer(t, cfg)
+	apps := []string{"wordpress", "tomcat", "verilator"}
+	want := make(map[string][]byte, len(apps))
+	for _, app := range apps {
+		w := analyze(t, s, fmt.Sprintf(`{"app":%q}`, app))
+		if w.Code != http.StatusOK {
+			t.Fatalf("seed analyze %s = %d", app, w.Code)
+		}
+		want[app] = w.Body.Bytes()
+	}
+	const rounds = 3
+	type result struct {
+		app  string
+		body []byte
+		code int
+	}
+	ch := make(chan result, rounds*len(apps))
+	for r := 0; r < rounds; r++ {
+		for _, app := range apps {
+			app := app
+			go func() {
+				w := analyze(t, s, fmt.Sprintf(`{"app":%q}`, app))
+				ch <- result{app, w.Body.Bytes(), w.Code}
+			}()
+		}
+	}
+	for i := 0; i < rounds*len(apps); i++ {
+		res := <-ch
+		if res.code != http.StatusOK {
+			t.Fatalf("concurrent analyze %s = %d", res.app, res.code)
+		}
+		if !bytes.Equal(res.body, want[res.app]) {
+			t.Fatalf("concurrent response for %s diverged", res.app)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakUnderChaos is the end-to-end graceful-degradation gate: real
+// loopback HTTP, concurrent workers, latency + corruption + torn writes +
+// panics injected at every tagged site, then a fault-free sweep over the
+// surviving cache and a drain under load. Runs under -race in CI.
+func TestSoakUnderChaos(t *testing.T) {
+	base := Config{
+		Lab:              quickLabFor(60_000),
+		CacheDir:         t.TempDir(),
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+	}
+	var out bytes.Buffer
+	rep, err := Soak(context.Background(), base, SoakConfig{
+		Apps:              []string{"wordpress", "verilator"},
+		Workers:           4,
+		RequestsPerWorker: 4,
+		Instrs:            60_000,
+		Seed:              20260807,
+		FaultSpec: "artifacts.read=corrupt:0.3,artifacts.write=short:0.3," +
+			"compute/base/*=panic:0.2,compute/prepared/*=latency:0.5",
+		RequestTimeout: 60 * time.Second,
+		Out:            &out,
+	})
+	if err != nil {
+		t.Fatalf("soak failed: %v\nviolations: %s\nlog:\n%s",
+			err, strings.Join(rep.Violations, "\n  "), out.String())
+	}
+	if rep.Requests != 16 || rep.OK+rep.Degraded != rep.Requests {
+		t.Errorf("accounting: %+v", rep)
+	}
+	if rep.FaultsHit == 0 {
+		t.Error("chaos spec never fired")
+	}
+	if rep.Reference == nil || rep.Reference.App != "wordpress" || rep.Reference.Speedup <= 0 {
+		t.Errorf("reference = %+v", rep.Reference)
+	}
+	if !strings.Contains(out.String(), "all invariants held") {
+		t.Errorf("soak log missing final verdict:\n%s", out.String())
+	}
+}
+
+// TestSoakRejectsBadFaultSpec: the duplicate-pattern diagnostic from
+// faults.ParseSpec surfaces through the soak entry point.
+func TestSoakRejectsBadFaultSpec(t *testing.T) {
+	_, err := Soak(context.Background(), Config{Lab: quickLabFor(60_000)}, SoakConfig{
+		FaultSpec: "artifacts.read=error,artifacts.read=corrupt",
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate clause") {
+		t.Fatalf("bad spec error = %v", err)
+	}
+}

@@ -135,6 +135,7 @@ func DefaultConfig() Config {
 			"ispy/internal/traceio",
 			"ispy/internal/artifacts",
 			"ispy/internal/faults",
+			"ispy/internal/resilience",
 		},
 		FreezeRules: []FreezeRule{
 			{
@@ -150,6 +151,10 @@ func DefaultConfig() Config {
 		},
 		StatsRules: []StatsRule{
 			{PkgPath: "ispy/internal/sim", Type: "Stats"},
+			// The service response is the server's sim.Stats analogue: every
+			// exported field must reach a consumer outside the package, and
+			// (dtaint) none may take map-iteration-ordered data.
+			{PkgPath: "ispy/internal/server", Type: "AnalyzeResponse"},
 		},
 		HotPathRoots: []string{
 			"ispy/internal/sim.Run",
@@ -164,6 +169,7 @@ func DefaultConfig() Config {
 		SinkPkgs: []string{
 			"ispy/internal/traceio",
 			"ispy/internal/metrics",
+			"ispy/internal/server",
 		},
 	}
 }

@@ -1,7 +1,8 @@
 #!/bin/sh
 # The repository gate: gofmt, vet, ispy-vet (the repo's determinism &
 # invariant analyzer), build, race-enabled tests, a short fuzz pass over the
-# trace decoders, a CLI-level fault-injection smoke, and the bench-script
+# trace decoders, a CLI-level fault-injection smoke, the ispyd chaos soak
+# (graceful degradation under injected faults), and the bench-script
 # smoke — which both validates the JSON and gates throughput against the
 # newest committed BENCH_PR*.json (>10% loss fails; see scripts/bench.sh
 # -no-gate for noisy machines). `make check` runs the same steps; this
@@ -38,6 +39,12 @@ if [ "$rc" -ne 1 ]; then
     echo "fault-injection smoke: exit code $rc, want 1" >&2
     exit 1
 fi
+echo "== server chaos smoke (ispyd soak must exit 0)"
+go run ./cmd/ispyd soak -apps wordpress -workers 2 -requests 3 \
+    -instrs 60000 -fault-seed 20260807 >/dev/null 2>&1 || {
+    echo "server chaos smoke: soak reported an invariant violation" >&2
+    exit 1
+}
 echo "== bench-script smoke (JSON schema + perf regression gate)"
 ISPY_BENCH_SMOKE=1 go test -run TestBenchScriptEmitsJSON .
 echo "== all checks passed"
