@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet ispyvet vet-waivers build test race fuzz faultsmoke chaossmoke benchsmoke benchall bench
+.PHONY: check fmtcheck vet ispyvet vet-waivers build test race fuzz faultsmoke chaossmoke scenariosmoke benchsmoke benchall bench
 
 # The full gate: what CI (and every PR) must pass.
-check: fmtcheck vet ispyvet build race fuzz faultsmoke chaossmoke benchsmoke
+check: fmtcheck vet ispyvet build race fuzz faultsmoke chaossmoke scenariosmoke benchsmoke
 
 # gofmt enforcement: fails listing any file that needs formatting.
 fmtcheck:
@@ -59,6 +59,18 @@ chaossmoke:
 		-instrs 60000 -fault-seed 20260807 >/dev/null 2>&1 || \
 		{ echo "chaossmoke: soak reported an invariant violation"; exit 1; }
 	@echo "chaossmoke: ok (all graceful-degradation invariants held)"
+
+# Multi-tenant scenario smoke: a bursty two-tenant scenario must run clean
+# through the batch CLI and through the ispyd soak's scenario target (the
+# spec grammar is docs/WORKLOADS.md; determinism is pinned by golden tests).
+SCENARIO := name=smoke;seed=11;requests=160;arrival=gamma:0.7;day=0.6,1.4;zipf=0.8;tenants=wordpress:slo=interactive,tomcat:slo=batch
+scenariosmoke:
+	@$(GO) run ./cmd/ispy -instrs 120000 -scenario '$(SCENARIO)' >/dev/null 2>&1 || \
+		{ echo "scenariosmoke: ispy -scenario failed"; exit 1; }
+	@$(GO) run ./cmd/ispyd soak -apps wordpress -workers 2 -requests 2 \
+		-instrs 60000 -fault-seed 20260807 -scenario '$(SCENARIO)' >/dev/null 2>&1 || \
+		{ echo "scenariosmoke: ispyd soak with -scenario failed"; exit 1; }
+	@echo "scenariosmoke: ok (CLI scenario + soak scenario target both clean)"
 
 # Benchmark smoke: scripts/bench.sh must produce parseable JSON, and its
 # built-in regression gate must pass against the newest committed

@@ -9,6 +9,7 @@
 //	ispy all                  run every experiment
 //	ispy sweep <knob>         sensitivity sweep: preds|coalesce|hash|mindist|maxdist
 //	ispy apps                 describe the nine application workloads
+//	ispy scenario [<s>]       run a multi-tenant traffic scenario (spec or trace file)
 //
 // Flags:
 //
@@ -25,6 +26,8 @@
 //	-fault-seed N seed for -faults decisions
 //	-cpuprofile F write a pprof CPU profile of the run to F
 //	-memprofile F write a pprof heap profile to F at exit
+//	-scenario S   scenario spec string or recorded trace file (see docs/WORKLOADS.md)
+//	-scenario-record F  write the composed trace (v2 format) to F for later replay
 //
 // Profiles are analyzed with `go tool pprof` (see docs/PERFORMANCE.md).
 //
@@ -53,6 +56,8 @@ import (
 	"ispy/internal/experiments"
 	"ispy/internal/faults"
 	"ispy/internal/sim"
+	"ispy/internal/traceio"
+	"ispy/internal/traffic"
 	"ispy/internal/workload"
 )
 
@@ -88,6 +93,8 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	faultSeed := fs.Uint64("fault-seed", 1, "seed for -faults firing decisions")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	scenario := fs.String("scenario", "", "scenario spec or recorded trace file (see docs/WORKLOADS.md)")
+	scenarioRecord := fs.String("scenario-record", "", "write the composed scenario trace (v2) to this file")
 	fs.Usage = func() { usage(stderr, fs) }
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
@@ -95,8 +102,13 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 
 	args := fs.Args()
 	if len(args) == 0 {
-		fs.Usage()
-		return exitUsage
+		if *scenario != "" {
+			// `ispy -scenario <spec>` alone implies the scenario command.
+			args = []string{"scenario"}
+		} else {
+			fs.Usage()
+			return exitUsage
+		}
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -191,7 +203,7 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	code := dispatch(lab, args, stdout, stderr)
+	code := dispatch(lab, args, *scenario, *scenarioRecord, stdout, stderr)
 
 	// Epilogue — the single flush point. Runs for every post-Validate path,
 	// including usage errors, so partial state is never silently dropped.
@@ -209,7 +221,7 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 
 // dispatch routes the subcommand. It never calls os.Exit; usage errors
 // return exitUsage and partial failures surface through the lab's report.
-func dispatch(lab *experiments.Lab, args []string, stdout, stderr io.Writer) int {
+func dispatch(lab *experiments.Lab, args []string, scenarioArg, scenarioRecord string, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "list":
 		for _, s := range experiments.All() {
@@ -237,10 +249,94 @@ func dispatch(lab *experiments.Lab, args []string, stdout, stderr io.Writer) int
 			return exitUsage
 		}
 		return runSweep(lab, args[1], stdout, stderr)
+	case "scenario":
+		if len(args) >= 2 {
+			scenarioArg = args[1]
+		}
+		return runScenario(lab, scenarioArg, scenarioRecord, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "ispy: unknown command %q\n", args[0])
 		return exitUsage
 	}
+}
+
+// runScenario evaluates a multi-tenant traffic scenario. The argument is
+// either a spec string (see docs/WORKLOADS.md for the grammar) or the path
+// of a recorded trace v2 file to replay; malformed specs, unknown presets,
+// and undecodable traces are usage errors (exit 2) before any work runs.
+// Runtime failures are contained by the lab and surface as a partial run.
+func runScenario(lab *experiments.Lab, arg, record string, stdout, stderr io.Writer) int {
+	if arg == "" {
+		fmt.Fprintln(stderr, "ispy scenario: need a spec string or trace file (operand or -scenario)")
+		return exitUsage
+	}
+
+	// A readable file is a recorded trace; anything else parses as a spec.
+	var trace *traceio.ScenarioTrace
+	if st, err := os.Stat(arg); err == nil && !st.IsDir() {
+		f, err := os.Open(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "ispy scenario: %v\n", err)
+			return exitUsage
+		}
+		trace, err = traceio.ReadScenario(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "ispy scenario: %s: %v\n", arg, err)
+			return exitUsage
+		}
+		// Validate the tenant population (unknown presets and all) up front
+		// so the failure is a usage error, not a contained runtime one.
+		if _, err := traffic.SpecFromTrace(trace); err != nil {
+			fmt.Fprintf(stderr, "ispy scenario: %s: %v\n", arg, err)
+			return exitUsage
+		}
+	} else {
+		spec, err := traffic.ParseSpec(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "ispy scenario: %v\n", err)
+			return exitUsage
+		}
+		trace = traffic.Compose(spec)
+	}
+
+	var res *experiments.ScenarioResult
+	lab.Attempt(trace.Name, "scenario", func() error {
+		r, err := lab.ScenarioTrace(trace)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if res == nil {
+		// The failure is already in the run report; the epilogue turns the
+		// unclean report into exit 1.
+		return exitOK
+	}
+	fmt.Fprint(stdout, res.Render())
+
+	if record != "" {
+		if err := writeTrace(record, res.Trace); err != nil {
+			fmt.Fprintf(stderr, "ispy scenario: -scenario-record: %v\n", err)
+			return exitPartial
+		}
+		fmt.Fprintf(stderr, "ispy: recorded scenario trace to %s\n", record)
+	}
+	return exitOK
+}
+
+// writeTrace persists a composed trace for later replay.
+func writeTrace(path string, tr *traceio.ScenarioTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traceio.WriteScenario(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseApps splits a comma-separated app list, trimming whitespace and
@@ -424,6 +520,7 @@ usage:
   ispy [flags] run <experiment-id>...
   ispy [flags] sweep {preds|coalesce|hash|mindist|maxdist}
   ispy [flags] all
+  ispy [flags] scenario [<spec-or-trace-file>]   (or just: ispy -scenario <s>)
 
 exit codes: 0 clean run; 1 partial failure (see run report); 2 usage error
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -62,6 +64,74 @@ func TestExitCodeContract(t *testing.T) {
 		}
 		if strings.Contains(stderr, "FAILED") {
 			t.Errorf("clean run reported failures: %q", stderr)
+		}
+	})
+}
+
+// TestScenarioCLI covers the scenario command at the process boundary:
+// usage errors exit 2 naming the offending tenant, and a recorded trace
+// replays to byte-identical output.
+func TestScenarioCLI(t *testing.T) {
+	t.Run("no operand is usage", func(t *testing.T) {
+		if code, _, stderr := runCLI(t, "scenario"); code != exitUsage || !strings.Contains(stderr, "spec") {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("malformed spec is usage", func(t *testing.T) {
+		if code, _, _ := runCLI(t, "scenario", "arrival=bogus;tenants=tomcat"); code != exitUsage {
+			t.Errorf("code = %d", code)
+		}
+	})
+	t.Run("unknown tenant app is usage and names the tenant", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "scenario", "tenants=wordpress,httpd")
+		if code != exitUsage {
+			t.Fatalf("code = %d, want %d", code, exitUsage)
+		}
+		if !strings.Contains(stderr, "tenant 1") || !strings.Contains(stderr, `"httpd"`) {
+			t.Errorf("error does not name the offending tenant: %q", stderr)
+		}
+		if !strings.Contains(stderr, "wordpress") {
+			t.Errorf("error does not list valid presets: %q", stderr)
+		}
+	})
+	t.Run("garbage trace file is usage", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "junk.ispy")
+		if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code, _, stderr := runCLI(t, "scenario", path); code != exitUsage || !strings.Contains(stderr, path) {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("record then replay is byte-identical", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "trace.ispy")
+		spec := "name=rr;seed=7;requests=96;arrival=gamma:0.7;day=0.7,1.3;tenants=kafka,drupal"
+		// The bare -scenario flag (no subcommand operand) must also work.
+		code, direct, stderr := runCLI(t,
+			"-instrs", "120000", "-scenario", spec, "-scenario-record", path)
+		if code != exitOK {
+			t.Fatalf("record run: code = %d, stderr = %q", code, stderr)
+		}
+		if !strings.Contains(direct, "scenario \"rr\"") || !strings.Contains(direct, "slo:std") {
+			t.Fatalf("unexpected report:\n%s", direct)
+		}
+		code, replay, stderr := runCLI(t, "-instrs", "120000", "scenario", path)
+		if code != exitOK {
+			t.Fatalf("replay run: code = %d, stderr = %q", code, stderr)
+		}
+		if direct != replay {
+			t.Errorf("replay output diverged from the recorded run:\n--- direct:\n%s--- replay:\n%s", direct, replay)
+		}
+	})
+	t.Run("scenario fault exits partial", func(t *testing.T) {
+		code, _, stderr := runCLI(t,
+			"-instrs", "120000", "-faults", "compute/scenario-base/*=error",
+			"-scenario", "seed=3;requests=64;tenants=tomcat")
+		if code != exitPartial {
+			t.Fatalf("code = %d, want %d\nstderr: %s", code, exitPartial, stderr)
+		}
+		if !strings.Contains(stderr, "FAILED") {
+			t.Errorf("run report does not record the failure: %q", stderr)
 		}
 	})
 }

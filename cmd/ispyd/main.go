@@ -25,8 +25,9 @@
 //	-workers N     concurrent chaos clients (default 4)
 //	-requests N    requests per worker (default 6)
 //	-apps a,b      apps to cycle over
+//	-scenario S    also cycle a multi-tenant scenario spec (docs/WORKLOADS.md)
 //
-// Endpoints: POST /v1/analyze ({"app","instrs","timeout_millis"}),
+// Endpoints: POST /v1/analyze ({"app"|"scenario","instrs","timeout_millis"}),
 // POST /v1/profile/analyze (traceio profile bytes, as written by
 // `ispy-profile collect`), GET /healthz, /readyz, /statusz.
 //
@@ -82,6 +83,7 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 4, "soak: concurrent chaos clients")
 	requests := fs.Int("requests", 6, "soak: requests per worker")
 	apps := fs.String("apps", "", "soak: comma-separated apps to cycle over")
+	scenario := fs.String("scenario", "", "soak: multi-tenant scenario spec to cycle (see docs/WORKLOADS.md)")
 	if err := fs.Parse(rest); err != nil {
 		return exitUsage
 	}
@@ -111,6 +113,7 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	case "soak":
 		return soak(cfg, server.SoakConfig{
 			Apps:              parseApps(*apps),
+			Scenario:          *scenario,
 			Workers:           *workers,
 			RequestsPerWorker: *requests,
 			Instrs:            *instrs,
@@ -175,6 +178,19 @@ func soak(cfg server.Config, sc server.SoakConfig, stdout, stderr io.Writer) int
 				r.ISPY.PrefetchInstrs, r.ISPY.PrefetchLinesIssued,
 				r.Baseline.StallCycles, r.ISPY.StallCycles,
 				r.Baseline.Instrs, r.ISPY.Instrs)
+		}
+		if r := rep.Scenario; r != nil {
+			fmt.Fprintf(stdout, "soak: scenario %q @ %d instrs: baseline %d misses → ispy %d (%.3fx speedup)\n",
+				r.Scenario, r.Instrs, r.Baseline.L1IMisses, r.ISPY.L1IMisses, r.Speedup)
+			rows := append(append([]server.TenantSummary{}, r.Tenants...), r.SLOClasses...)
+			for _, t := range rows {
+				label := t.Name
+				if t.App != "" {
+					label += " (" + t.App + ")"
+				}
+				fmt.Fprintf(stdout, "soak:   %-28s slo=%-12s requests=%-4d mpki %.3f → %.3f\n",
+					label, t.SLO, t.Requests, t.BaseMPKI, t.ISPYMPKI)
+			}
 		}
 		for _, v := range rep.Violations {
 			fmt.Fprintf(stderr, "soak: violation: %s\n", v)

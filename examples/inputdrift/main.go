@@ -1,12 +1,22 @@
-// Inputdrift: the Fig. 16 scenario — profile a service under one load, then
+// Inputdrift: profile-time assumptions vs production reality, in two acts.
+//
+// Act 1 is the Fig. 16 scenario — profile a service under one load, then
 // deploy the optimized binary against inputs whose request mix has drifted
 // (rotated popularity ranks, flatter/sharper skews, fully reversed ranks).
-//
 // Data-center loads shift diurnally; a profile-guided optimization that only
 // helps on the profiled input is useless in production. Conditional
 // prefetching makes I-SPY resilient: a prefetch fires only when the run-time
 // context says the miss is coming, so stale profile assumptions suppress
 // themselves.
+//
+// Act 2 turns the same question on the traffic shape: a matrix of
+// multi-tenant scenarios (internal/traffic) varies the arrival process,
+// tenant skew, and diurnal curve around a fixed two-tenant population.
+// Each app is still profiled in isolation (the paper's deployment model),
+// the injected binaries are merged into one address space, and the
+// interleaved production schedule decides what the instruction cache sees.
+// The per-SLO-class rows show how much of the win lands on the
+// latency-sensitive traffic under each shape.
 //
 // Run with: go run ./examples/inputdrift [app]
 package main
@@ -17,10 +27,12 @@ import (
 
 	"ispy/internal/asmdb"
 	"ispy/internal/core"
+	"ispy/internal/experiments"
 	"ispy/internal/isa"
 	"ispy/internal/metrics"
 	"ispy/internal/profile"
 	"ispy/internal/sim"
+	"ispy/internal/traffic"
 	"ispy/internal/workload"
 )
 
@@ -29,6 +41,12 @@ func main() {
 	if len(os.Args) > 1 {
 		app = os.Args[1]
 	}
+	driftTable(app)
+	scenarioMatrix()
+}
+
+// driftTable is the single-tenant input-drift act (paper Fig. 16).
+func driftTable(app string) {
 	w := workload.Preset(app)
 	scfg := sim.Default().WithWorkloadCPI(w.Params.BackendCPI)
 
@@ -57,4 +75,59 @@ func main() {
 			metrics.PctOfIdeal(base.Cycles, ispySt.Cycles, ideal.Cycles))
 	}
 	fmt.Println("\nI-SPY stays closer to the ideal cache on every unseen input (paper Fig. 16).")
+}
+
+// matrix is the scenario sweep: one fixed tenant population under four
+// traffic shapes. Specs share a seed so the only variable is the shape.
+var matrix = []struct {
+	label string
+	spec  string
+}{
+	{"steady poisson", "name=steady;seed=31;requests=128;arrival=poisson;" +
+		"tenants=wordpress:slo=interactive,tomcat:slo=batch"},
+	{"bursty gamma", "name=bursty;seed=31;requests=128;arrival=gamma:0.4;" +
+		"tenants=wordpress:slo=interactive,tomcat:slo=batch"},
+	{"diurnal trough/peak", "name=diurnal;seed=31;requests=128;arrival=gamma:0.7;day=0.4,1.6;" +
+		"tenants=wordpress:slo=interactive,tomcat:slo=batch"},
+	{"zipf-skewed tenants", "name=skewed;seed=31;requests=128;arrival=gamma:0.7;zipf=1.2;" +
+		"tenants=wordpress:slo=interactive,tomcat:slo=batch"},
+}
+
+// scenarioMatrix is the multi-tenant act: the same two tenants under four
+// traffic shapes, reduced budgets so the example stays interactive.
+func scenarioMatrix() {
+	lab := experiments.NewLab(experiments.Config{
+		Apps:          []string{"wordpress", "tomcat"},
+		MeasureInstrs: 300_000,
+		WarmupInstrs:  100_000,
+		Parallel:      true,
+	})
+	fmt.Printf("\nscenario matrix: wordpress(interactive) + tomcat(batch) under four traffic shapes\n\n")
+	fmt.Printf("%-22s %9s %14s %14s\n", "shape", "speedup", "interactive", "batch")
+	fmt.Printf("%-22s %9s %14s %14s\n", "", "", "mpki delta", "mpki delta")
+	for _, m := range matrix {
+		spec, err := traffic.ParseSpec(m.spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inputdrift: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := lab.Scenario(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inputdrift: %v\n", err)
+			os.Exit(1)
+		}
+		speedup := float64(res.Base.Cycles) / float64(res.ISPY.Cycles)
+		baseSLO, ispySLO := traffic.SLORows(res.BaseRows), traffic.SLORows(res.ISPYRows)
+		delta := func(i int) float64 {
+			bm := traffic.MPKI(&baseSLO[i])
+			if bm == 0 {
+				return 0
+			}
+			return 100 * (bm - traffic.MPKI(&ispySLO[i])) / bm
+		}
+		fmt.Printf("%-22s %8.4fx %13.1f%% %13.1f%%\n", m.label, speedup, delta(0), delta(1))
+	}
+	fmt.Println("\nThe win concentrates on whichever class dominates the interleaving: burstier")
+	fmt.Println("arrivals and sharper skew lengthen one tenant's runs, so its working set")
+	fmt.Println("holds the cache and the other tenant pays the context-switch misses.")
 }

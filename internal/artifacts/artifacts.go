@@ -415,6 +415,42 @@ func (c *Cache) LoadProfile(ctx context.Context, k *Key, w *workload.Workload, i
 	}, true
 }
 
+// StoreScenario persists one scenario run's statistics plus its per-tenant
+// report rows as a two-section entry. Rows are persisted — not recomputed —
+// because they are attributed from simulator hook events, which do not fire
+// on a cache hit; storing them keeps cold and warm replays byte-identical.
+func (c *Cache) StoreScenario(ctx context.Context, k *Key, s *sim.Stats, rows []traceio.ScenarioRow) {
+	if c == nil || s == nil {
+		return
+	}
+	var sbuf, rbuf bytes.Buffer
+	if err := traceio.WriteStats(&sbuf, s); err != nil {
+		return
+	}
+	if err := traceio.WriteScenarioRows(&rbuf, rows); err != nil {
+		return
+	}
+	c.writeEntry(ctx, k, [][]byte{sbuf.Bytes(), rbuf.Bytes()})
+}
+
+// LoadScenario returns the cached scenario statistics and rows for k, if
+// valid.
+func (c *Cache) LoadScenario(ctx context.Context, k *Key) (*sim.Stats, []traceio.ScenarioRow, bool) {
+	sections := c.readEntry(ctx, k)
+	if len(sections) != 2 {
+		return nil, nil, false
+	}
+	s, err := traceio.ReadStats(bytes.NewReader(sections[0]))
+	if err != nil {
+		return nil, nil, false
+	}
+	rows, err := traceio.ReadScenarioRows(bytes.NewReader(sections[1]))
+	if err != nil {
+		return nil, nil, false
+	}
+	return s, rows, true
+}
+
 // StoreBuild persists an analysis build: the injected program, the plan's
 // reporting counters, and the planned prefetch list (the injection plan the
 // analysis server streams back; the batch harness only reads the counters).

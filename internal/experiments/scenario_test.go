@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"ispy/internal/traceio"
+	"ispy/internal/traffic"
+)
+
+const goldenSpec = "name=golden;seed=20260807;requests=96;arrival=gamma:0.7;day=0.6,1.4;zipf=0.9;" +
+	"tenants=wordpress:slo=interactive,tomcat:slo=batch"
+
+func scenarioLabConfig(cacheDir string, shards int) Config {
+	return Config{
+		Apps:          []string{"wordpress", "tomcat"},
+		MeasureInstrs: 300_000,
+		WarmupInstrs:  100_000,
+		Parallel:      true,
+		Shards:        shards,
+		CacheDir:      cacheDir,
+	}
+}
+
+func renderScenario(t *testing.T, cfg Config) string {
+	t.Helper()
+	lab := NewLab(cfg)
+	spec, err := traffic.ParseSpec(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lab.Scenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Render()
+}
+
+// TestScenarioGoldenAcrossShards is the acceptance-criteria golden test:
+// the same (seed, spec) renders byte-identical reports across -shards
+// {1,4} and across cold/warm cache.
+func TestScenarioGoldenAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	cold := renderScenario(t, scenarioLabConfig(dir, 1))
+	warm := renderScenario(t, scenarioLabConfig(dir, 1))
+	if cold != warm {
+		t.Fatalf("cold and warm cache render differently:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	sharded := renderScenario(t, scenarioLabConfig(t.TempDir(), 4))
+	if cold != sharded {
+		t.Fatalf("shards 1 and 4 render differently:\n1:\n%s\n4:\n%s", cold, sharded)
+	}
+	nocache := renderScenario(t, scenarioLabConfig("", 2))
+	if cold != nocache {
+		t.Fatalf("cache bypass renders differently:\n%s\nvs\n%s", cold, nocache)
+	}
+}
+
+// TestScenarioReplayMatchesCompose: recording a trace and replaying it
+// yields the identical result (the record/replay contract).
+func TestScenarioReplayMatchesCompose(t *testing.T) {
+	spec, err := traffic.ParseSpec(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := NewLab(scenarioLabConfig("", 1))
+	direct, err := lab.Scenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := traceio.WriteScenario(&buf, direct.Trace); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traceio.ReadScenario(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := NewLab(scenarioLabConfig("", 1)).ScenarioTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Render() != replay.Render() {
+		t.Fatalf("replay diverged from compose:\n%s\nvs\n%s", direct.Render(), replay.Render())
+	}
+}
+
+func TestScenarioRowsPopulated(t *testing.T) {
+	lab := NewLab(scenarioLabConfig("", 1))
+	spec, err := traffic.ParseSpec(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lab.Scenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseRows) != 2 || len(res.ISPYRows) != 2 {
+		t.Fatalf("row counts: base %d ispy %d", len(res.BaseRows), len(res.ISPYRows))
+	}
+	for i := range res.BaseRows {
+		if res.BaseRows[i].Misses == 0 {
+			t.Fatalf("tenant %q: baseline saw no misses", res.BaseRows[i].Name)
+		}
+	}
+	// I-SPY must reduce total misses on the interleaved stream.
+	if res.ISPY.L1IMisses >= res.Base.L1IMisses {
+		t.Fatalf("I-SPY did not reduce misses: %d -> %d", res.Base.L1IMisses, res.ISPY.L1IMisses)
+	}
+}

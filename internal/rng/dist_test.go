@@ -1,0 +1,111 @@
+package rng
+
+import "testing"
+
+// sample runs f n times and returns the empirical mean and variance.
+func sample(n int, f func() float64) (mean, variance float64) {
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := f()
+		sum += x
+		sq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(1)
+	mean, variance := sample(200_000, r.Exp)
+	if mean < 0.98 || mean > 1.02 {
+		t.Fatalf("Exp mean = %v, want ~1", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("Exp variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(2)
+	mean, variance := sample(200_000, r.Normal)
+	if mean < -0.01 || mean > 0.01 {
+		t.Fatalf("Normal mean = %v, want ~0", mean)
+	}
+	if variance < 0.98 || variance > 1.02 {
+		t.Fatalf("Normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		r := New(3)
+		mean, variance := sample(200_000, func() float64 { return r.Gamma(shape) })
+		if mean < shape*0.97 || mean > shape*1.03 {
+			t.Fatalf("Gamma(%v) mean = %v, want ~%v", shape, mean, shape)
+		}
+		if variance < shape*0.92 || variance > shape*1.08 {
+			t.Fatalf("Gamma(%v) variance = %v, want ~%v", shape, variance, shape)
+		}
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2} {
+		r := New(4)
+		want := GammaFn(1 + 1/shape)
+		mean, _ := sample(300_000, func() float64 { return r.Weibull(shape) })
+		if mean < want*0.97 || mean > want*1.03 {
+			t.Fatalf("Weibull(%v) mean = %v, want ~%v", shape, mean, want)
+		}
+	}
+}
+
+func TestGammaFnKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 6}, {5, 24}, {6, 120},
+		{1.5, 0.8862269254527580}, // sqrt(pi)/2
+		{0.5, 1.7724538509055160}, // sqrt(pi), via the upward recursion
+		{2.5, 1.3293403881791370},
+	}
+	for _, c := range cases {
+		got := GammaFn(c.x)
+		rel := (got - c.want) / c.want
+		if rel < -1e-9 || rel > 1e-9 {
+			t.Fatalf("GammaFn(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSqrtF(t *testing.T) {
+	for _, x := range []float64{0, 1e-12, 0.25, 1, 2, 9, 1e6, 3.7e18} {
+		got := sqrtF(x)
+		if x == 0 {
+			if got != 0 {
+				t.Fatalf("sqrtF(0) = %v", got)
+			}
+			continue
+		}
+		rel := (got*got - x) / x
+		if rel < -1e-12 || rel > 1e-12 {
+			t.Fatalf("sqrtF(%v) = %v (square %v)", x, got, got*got)
+		}
+	}
+}
+
+// TestDistDeterminism pins that the samplers are pure functions of the
+// seed: two generators with the same seed produce identical streams.
+func TestDistDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Exp(), b.Exp(); x != y {
+			t.Fatalf("Exp stream diverged at %d: %v vs %v", i, x, y)
+		}
+		if x, y := a.Gamma(0.7), b.Gamma(0.7); x != y {
+			t.Fatalf("Gamma stream diverged at %d: %v vs %v", i, x, y)
+		}
+		if x, y := a.Weibull(1.8), b.Weibull(1.8); x != y {
+			t.Fatalf("Weibull stream diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+}

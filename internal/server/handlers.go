@@ -16,18 +16,24 @@ import (
 	"time"
 
 	"ispy/internal/core"
+	"ispy/internal/experiments"
 	"ispy/internal/metrics"
 	"ispy/internal/profile"
 	"ispy/internal/resilience"
 	"ispy/internal/sim"
 	"ispy/internal/traceio"
+	"ispy/internal/traffic"
 	"ispy/internal/workload"
 )
 
-// AnalyzeRequest is the POST /v1/analyze body.
+// AnalyzeRequest is the POST /v1/analyze body. Exactly one of App and
+// Scenario must be set.
 type AnalyzeRequest struct {
 	// App names a workload preset (workload.AppNames).
-	App string `json:"app"`
+	App string `json:"app,omitempty"`
+	// Scenario is a multi-tenant traffic scenario spec (the grammar of
+	// docs/WORKLOADS.md); it is mutually exclusive with App.
+	Scenario string `json:"scenario,omitempty"`
 	// Instrs optionally overrides the measured instruction budget
 	// (50e3–5e6; warmup and sweep budgets rescale proportionally).
 	Instrs uint64 `json:"instrs,omitempty"`
@@ -56,31 +62,49 @@ type PlanSummary struct {
 	MissesUncovered uint64 `json:"misses_uncovered"`
 }
 
+// TenantSummary is one tenant's (or SLO class's) slice of a scenario
+// response: attributed requests and the MPKI movement.
+type TenantSummary struct {
+	Name     string  `json:"name"`
+	App      string  `json:"app,omitempty"`
+	SLO      string  `json:"slo"`
+	Requests uint64  `json:"requests"`
+	BaseMPKI float64 `json:"base_mpki"`
+	ISPYMPKI float64 `json:"ispy_mpki"`
+}
+
 // AnalyzeResponse is the analysis result: baseline and I-SPY runs plus the
-// injection-plan summary. It is a pure function of (App, Instrs).
+// injection-plan summary. It is a pure function of (App, Instrs) — or, for
+// scenario requests, of (Scenario, Instrs) — never of timing or attempts.
 type AnalyzeResponse struct {
-	App      string       `json:"app"`
-	Instrs   uint64       `json:"instrs"`
-	Baseline StatsSummary `json:"baseline"`
-	ISPY     StatsSummary `json:"ispy"`
-	Plan     PlanSummary  `json:"plan"`
+	App string `json:"app,omitempty"`
+	// Scenario echoes the scenario name for scenario requests; Tenants and
+	// SLOClasses then carry the per-tenant and per-class attribution.
+	Scenario   string          `json:"scenario,omitempty"`
+	Instrs     uint64          `json:"instrs"`
+	Baseline   StatsSummary    `json:"baseline"`
+	ISPY       StatsSummary    `json:"ispy"`
+	Plan       PlanSummary     `json:"plan"`
+	Tenants    []TenantSummary `json:"tenants,omitempty"`
+	SLOClasses []TenantSummary `json:"slo_classes,omitempty"`
 	// Speedup is baseline cycles over I-SPY cycles.
 	Speedup float64 `json:"speedup"`
+}
+
+func statsSummary(s *sim.Stats) StatsSummary {
+	return StatsSummary{
+		Instrs:              s.BaseInstrs,
+		Cycles:              s.Cycles,
+		L1IMisses:           s.L1IMisses,
+		StallCycles:         s.StallCycles,
+		PrefetchInstrs:      s.DynPrefetchInstrs,
+		PrefetchLinesIssued: s.PrefetchLinesIssued,
+	}
 }
 
 // newAnalyzeResponse flattens the pipeline outputs. Plan counters come from
 // slice iteration only: the response must never take map-iteration order.
 func newAnalyzeResponse(app string, instrs uint64, base, ispy *sim.Stats, plan *core.Plan) *AnalyzeResponse {
-	sum := func(s *sim.Stats) StatsSummary {
-		return StatsSummary{
-			Instrs:              s.BaseInstrs,
-			Cycles:              s.Cycles,
-			L1IMisses:           s.L1IMisses,
-			StallCycles:         s.StallCycles,
-			PrefetchInstrs:      s.DynPrefetchInstrs,
-			PrefetchLinesIssued: s.PrefetchLinesIssued,
-		}
-	}
 	ps := PlanSummary{
 		Prefetches:      len(plan.Prefetches),
 		MissesTotal:     plan.MissesTotal,
@@ -95,7 +119,39 @@ func newAnalyzeResponse(app string, instrs uint64, base, ispy *sim.Stats, plan *
 			ps.Coalesced++
 		}
 	}
-	resp := &AnalyzeResponse{App: app, Instrs: instrs, Baseline: sum(base), ISPY: sum(ispy), Plan: ps}
+	resp := &AnalyzeResponse{App: app, Instrs: instrs, Baseline: statsSummary(base), ISPY: statsSummary(ispy), Plan: ps}
+	if resp.ISPY.Cycles > 0 {
+		resp.Speedup = float64(resp.Baseline.Cycles) / float64(resp.ISPY.Cycles)
+	}
+	return resp
+}
+
+// newScenarioResponse flattens a scenario result: aggregate stats plus
+// per-tenant and per-SLO-class rows, all from slice iteration.
+func newScenarioResponse(instrs uint64, res *experiments.ScenarioResult) *AnalyzeResponse {
+	resp := &AnalyzeResponse{
+		Scenario: res.Spec.Name,
+		Instrs:   instrs,
+		Baseline: statsSummary(res.Base),
+		ISPY:     statsSummary(res.ISPY),
+	}
+	row := func(base, ispy *traffic.TenantRow) TenantSummary {
+		return TenantSummary{
+			Name:     base.Name,
+			App:      base.App,
+			SLO:      base.SLO,
+			Requests: base.Requests,
+			BaseMPKI: traffic.MPKI(base),
+			ISPYMPKI: traffic.MPKI(ispy),
+		}
+	}
+	for i := range res.BaseRows {
+		resp.Tenants = append(resp.Tenants, row(&res.BaseRows[i], &res.ISPYRows[i]))
+	}
+	baseSLO, ispySLO := traffic.SLORows(res.BaseRows), traffic.SLORows(res.ISPYRows)
+	for i := range baseSLO {
+		resp.SLOClasses = append(resp.SLOClasses, row(&baseSLO[i], &ispySLO[i]))
+	}
 	if resp.ISPY.Cycles > 0 {
 		resp.Speedup = float64(resp.Baseline.Cycles) / float64(resp.ISPY.Cycles)
 	}
@@ -213,6 +269,24 @@ func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request) (int, bool
 	if req.Instrs != 0 && (req.Instrs < minInstrs || req.Instrs > maxInstrs) {
 		return writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("instrs %d outside [%d, %d]", req.Instrs, minInstrs, maxInstrs)), false
+	}
+	if req.Scenario != "" {
+		if req.App != "" {
+			return writeError(w, http.StatusBadRequest, "bad_request",
+				"app and scenario are mutually exclusive; set exactly one"), false
+		}
+		// Parse up front: a malformed spec or unknown tenant preset is the
+		// client's error (the message names the offending tenant), never a
+		// retried pipeline failure.
+		spec, err := traffic.ParseSpec(req.Scenario)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, "bad_scenario", err.Error()), false
+		}
+		ctx, cancel, _ := s.deadline(r, req.TimeoutMillis)
+		defer cancel()
+		return s.respond(ctx, w, func(ctx context.Context) (*AnalyzeResponse, error) {
+			return s.analyzeScenario(ctx, spec, req.Instrs)
+		})
 	}
 	if err := knownApp(req.App); err != nil {
 		return s.writeFailure(w, err), false
@@ -356,7 +430,7 @@ func rebindProfile(pd *traceio.ProfileData) (*profile.Profile, error) {
 // client's, not an artifact of ours), then baseline and I-SPY programs are
 // simulated under the derived budget.
 func (s *Server) analyzeProfile(ctx context.Context, prof *profile.Profile, instrs uint64) (*AnalyzeResponse, error) {
-	lcfg := s.labConfig(prof.Workload.Name, instrs)
+	lcfg := s.labConfig([]string{prof.Workload.Name}, instrs)
 	scfg := sim.Default().WithWorkloadCPI(prof.Workload.Params.BackendCPI)
 	scfg.MaxInstrs = lcfg.MeasureInstrs
 	scfg.WarmupInstrs = lcfg.WarmupInstrs

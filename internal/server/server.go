@@ -40,6 +40,7 @@ import (
 	"ispy/internal/metrics"
 	"ispy/internal/resilience"
 	"ispy/internal/sim"
+	"ispy/internal/traffic"
 	"ispy/internal/workload"
 )
 
@@ -202,12 +203,12 @@ func (s *Server) logf(format string, args ...any) {
 	fmt.Fprintf(s.cfg.Log, "ispyd: "+format+"\n", args...)
 }
 
-// labConfig derives the per-request lab configuration: one app, the shared
-// budgets (rescaled when the request names an instruction budget), chaos
-// armed at compute sites.
-func (s *Server) labConfig(app string, instrs uint64) experiments.Config {
+// labConfig derives the per-request lab configuration: the request's apps,
+// the shared budgets (rescaled when the request names an instruction
+// budget), chaos armed at compute sites.
+func (s *Server) labConfig(apps []string, instrs uint64) experiments.Config {
 	lcfg := s.cfg.Lab
-	lcfg.Apps = []string{app}
+	lcfg.Apps = apps
 	lcfg.Parallel = true
 	lcfg.Jobs = 0
 	lcfg.CacheDir = ""
@@ -227,7 +228,7 @@ func (s *Server) analyzeApp(ctx context.Context, app string, instrs uint64) (*An
 	if err := knownApp(app); err != nil {
 		return nil, err
 	}
-	lcfg := s.labConfig(app, instrs)
+	lcfg := s.labConfig([]string{app}, instrs)
 
 	var resp *AnalyzeResponse
 	op := func(ctx context.Context) error {
@@ -266,6 +267,55 @@ func (s *Server) analyzeApp(ctx context.Context, app string, instrs uint64) (*An
 	err := resilience.Retry(ctx, s.cfg.Retry, "serve/"+app, op, func(attempt int, delay time.Duration) {
 		s.reqs.Retry()
 		s.logf("retrying %s (attempt %d failed; backing off %v)", app, attempt, delay)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// analyzeScenario evaluates a multi-tenant traffic scenario under ctx with
+// the same retry and circuit-breaker treatment as analyzeApp. The scenario
+// composition is seeded by the spec, so the response is a pure function of
+// (scenario, instrs) and chaos-degraded responses stay byte-identical.
+func (s *Server) analyzeScenario(ctx context.Context, spec *traffic.Spec, instrs uint64) (*AnalyzeResponse, error) {
+	lcfg := s.labConfig(spec.Apps(), instrs)
+
+	var resp *AnalyzeResponse
+	op := func(ctx context.Context) error {
+		cache := s.cache
+		if cache != nil && !s.breaker.Allow() {
+			cache = nil
+			s.reqs.Degraded()
+			s.logf("circuit open: serving scenario %q without the artifact cache", spec.Name)
+		}
+		lab := experiments.NewLabShared(ctx, lcfg, experiments.Shared{
+			Pool: s.pool, Cache: cache, Telemetry: s.tel,
+		})
+		if err := lab.Validate(); err != nil {
+			return resilience.Permanent(&apiError{status: http.StatusBadRequest, code: "bad_config", msg: err.Error()})
+		}
+		var res *experiments.ScenarioResult
+		err := lab.Attempt(spec.Name, "serve/scenario", func() error {
+			r, rerr := lab.Scenario(spec)
+			if rerr != nil {
+				return rerr
+			}
+			res = r
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return resilience.Permanent(context.Cause(ctx))
+			}
+			return err
+		}
+		resp = newScenarioResponse(lcfg.MeasureInstrs, res)
+		return nil
+	}
+	err := resilience.Retry(ctx, s.cfg.Retry, "serve/scenario/"+spec.Name, op, func(attempt int, delay time.Duration) {
+		s.reqs.Retry()
+		s.logf("retrying scenario %q (attempt %d failed; backing off %v)", spec.Name, attempt, delay)
 	})
 	if err != nil {
 		return nil, err

@@ -152,6 +152,80 @@ func TestAnalyzeValidation(t *testing.T) {
 	}
 }
 
+// TestAnalyzeScenario: a scenario request answers per-tenant and per-SLO
+// rows, identical requests answer byte-identical bodies (cold, warm, and
+// across a server restart over the same cache), and bad specs are
+// structured 400s naming the offending tenant.
+func TestAnalyzeScenario(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.CacheDir = t.TempDir()
+	s := newTestServer(t, cfg)
+
+	body := `{"scenario":"name=svc;seed=9;requests=96;arrival=gamma:0.7;day=0.7,1.3;tenants=wordpress:slo=interactive,tomcat:slo=batch"}`
+	w1 := analyze(t, s, body)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("scenario analyze = %d: %s", w1.Code, w1.Body)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(w1.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scenario != "svc" || resp.App != "" {
+		t.Fatalf("response identity = %+v", resp)
+	}
+	if len(resp.Tenants) != 2 || len(resp.SLOClasses) != 2 {
+		t.Fatalf("rows: tenants %d, slo classes %d", len(resp.Tenants), len(resp.SLOClasses))
+	}
+	if resp.Tenants[0].Name != "wordpress" || resp.Tenants[0].SLO != "interactive" ||
+		resp.Tenants[0].Requests == 0 || resp.Tenants[0].BaseMPKI <= 0 {
+		t.Fatalf("tenant row = %+v", resp.Tenants[0])
+	}
+	if resp.SLOClasses[1].Name != "batch" || resp.SLOClasses[1].App != "" {
+		t.Fatalf("slo row = %+v", resp.SLOClasses[1])
+	}
+	if resp.Baseline.L1IMisses <= resp.ISPY.L1IMisses {
+		t.Fatalf("I-SPY did not reduce misses: %+v", resp)
+	}
+
+	// Warm, then across a restart over the same cache: byte-identical.
+	if w2 := analyze(t, s, body); !bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatal("cache-warm scenario response differs from cold response")
+	}
+	s2 := newTestServer(t, cfg)
+	if w3 := analyze(t, s2, body); !bytes.Equal(w1.Body.Bytes(), w3.Body.Bytes()) {
+		t.Fatal("scenario response across server restarts differs")
+	}
+}
+
+func TestAnalyzeScenarioValidation(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+
+	// An unknown tenant preset is a 400 naming the tenant, not a 500.
+	w := analyze(t, s, `{"scenario":"tenants=wordpress,httpd"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown tenant app = %d: %s", w.Code, w.Body)
+	}
+	msg, ok := structuredError(w.Body.Bytes())
+	if !ok || !strings.HasPrefix(msg, "bad_scenario") {
+		t.Fatalf("error body = %s", w.Body)
+	}
+	if !strings.Contains(msg, "tenant 1") || !strings.Contains(msg, `"httpd"`) {
+		t.Errorf("error does not name the offending tenant: %q", msg)
+	}
+
+	// App and scenario are mutually exclusive.
+	w = analyze(t, s, `{"app":"wordpress","scenario":"tenants=tomcat"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("app+scenario = %d: %s", w.Code, w.Body)
+	}
+
+	// A malformed spec clause is a 400 too.
+	w = analyze(t, s, `{"scenario":"arrival=bogus;tenants=tomcat"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed spec = %d: %s", w.Code, w.Body)
+	}
+}
+
 func TestAnalyzeDeadline(t *testing.T) {
 	s := newTestServer(t, testConfig(t))
 	w := analyze(t, s, `{"app":"wordpress","timeout_millis":1}`)

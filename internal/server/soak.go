@@ -35,6 +35,10 @@ import (
 type SoakConfig struct {
 	// Apps to cycle requests over (default: wordpress, tomcat).
 	Apps []string
+	// Scenario, when set, adds a multi-tenant scenario request (the spec
+	// grammar of docs/WORKLOADS.md) to the cycle, so the soak also proves
+	// scenario responses degrade gracefully and replay byte-identically.
+	Scenario string
 	// Workers × RequestsPerWorker chaos requests are issued (defaults 4×6).
 	Workers           int
 	RequestsPerWorker int
@@ -59,6 +63,16 @@ type SoakReport struct {
 	Violations []string
 	// Reference is the canonical response for the first app, for display.
 	Reference *AnalyzeResponse
+	// Scenario is the canonical scenario response when SoakConfig.Scenario
+	// was set, for display of the per-tenant rows.
+	Scenario *AnalyzeResponse
+}
+
+// soakTarget is one request shape the soak cycles over: a plain per-app
+// analysis or the scenario request.
+type soakTarget struct {
+	label string
+	req   AnalyzeRequest
 }
 
 // Soak runs the chaos soak. base supplies budgets and resilience settings;
@@ -96,23 +110,36 @@ func Soak(ctx context.Context, base Config, sc SoakConfig) (*SoakReport, error) 
 		}
 	}
 
+	// The request cycle: every app, plus the scenario when configured.
+	targets := make([]soakTarget, 0, len(sc.Apps)+1)
+	for _, app := range sc.Apps {
+		targets = append(targets, soakTarget{label: app, req: AnalyzeRequest{App: app, Instrs: sc.Instrs}})
+	}
+	if sc.Scenario != "" {
+		targets = append(targets, soakTarget{label: "scenario", req: AnalyzeRequest{Scenario: sc.Scenario, Instrs: sc.Instrs}})
+	}
+	labels := make([]string, len(targets))
+	for i, t := range targets {
+		labels[i] = t.label
+	}
+
 	// Phase 1: fault-free reference. No cache: the point is the canonical
 	// bytes, and a pristine pipeline must not need one.
-	logf("phase 1: pinning reference responses for %s", strings.Join(sc.Apps, ", "))
+	logf("phase 1: pinning reference responses for %s", strings.Join(labels, ", "))
 	refCfg := base
 	refCfg.CacheDir = ""
 	refCfg.Faults = nil
-	reference := make(map[string][]byte, len(sc.Apps))
+	reference := make(map[string][]byte, len(targets))
 	err := withServer(ctx, refCfg, func(url string, _ *Server) error {
-		for _, app := range sc.Apps {
-			status, body, err := postAnalyze(ctx, url, app, sc.Instrs, sc.RequestTimeout)
+		for _, t := range targets {
+			status, body, err := postAnalyze(ctx, url, t.req, sc.RequestTimeout)
 			if err != nil {
-				return fmt.Errorf("reference request for %s: %w", app, err)
+				return fmt.Errorf("reference request for %s: %w", t.label, err)
 			}
 			if status != http.StatusOK {
-				return fmt.Errorf("reference request for %s answered %d: %s", app, status, body)
+				return fmt.Errorf("reference request for %s answered %d: %s", t.label, status, body)
 			}
-			reference[app] = body
+			reference[t.label] = body
 		}
 		return nil
 	})
@@ -124,6 +151,13 @@ func Soak(ctx context.Context, base Config, sc SoakConfig) (*SoakReport, error) 
 		return rep, fmt.Errorf("reference for %s is not an AnalyzeResponse: %w", sc.Apps[0], err)
 	}
 	rep.Reference = &ref
+	if sc.Scenario != "" {
+		var sref AnalyzeResponse
+		if err := json.Unmarshal(reference["scenario"], &sref); err != nil {
+			return rep, fmt.Errorf("scenario reference is not an AnalyzeResponse: %w", err)
+		}
+		rep.Scenario = &sref
+	}
 
 	// Phase 2: chaos. Concurrent workers against a fault-armed server; every
 	// response must be the canonical bytes or a structured error.
@@ -148,8 +182,8 @@ func Soak(ctx context.Context, base Config, sc SoakConfig) (*SoakReport, error) 
 			go func() {
 				defer wg.Done()
 				for i := 0; i < sc.RequestsPerWorker; i++ {
-					app := sc.Apps[(w*sc.RequestsPerWorker+i)%len(sc.Apps)]
-					status, body, err := postAnalyze(ctx, url, app, sc.Instrs, sc.RequestTimeout)
+					t := targets[(w*sc.RequestsPerWorker+i)%len(targets)]
+					status, body, err := postAnalyze(ctx, url, t.req, sc.RequestTimeout)
 					if err != nil {
 						violation("worker %d: transport error (connection must survive chaos): %v", w, err)
 						continue
@@ -159,8 +193,8 @@ func Soak(ctx context.Context, base Config, sc SoakConfig) (*SoakReport, error) 
 					mu.Unlock()
 					switch {
 					case status == http.StatusOK:
-						if !bytes.Equal(body, reference[app]) {
-							violation("worker %d: %s response diverged from reference under faults", w, app)
+						if !bytes.Equal(body, reference[t.label]) {
+							violation("worker %d: %s response diverged from reference under faults", w, t.label)
 						} else {
 							mu.Lock()
 							rep.OK++
@@ -198,14 +232,14 @@ func Soak(ctx context.Context, base Config, sc SoakConfig) (*SoakReport, error) 
 	cleanCfg := base
 	cleanCfg.Faults = nil
 	err = withServer(ctx, cleanCfg, func(url string, srv *Server) error {
-		for _, app := range sc.Apps {
-			status, body, err := postAnalyze(ctx, url, app, sc.Instrs, sc.RequestTimeout)
+		for _, t := range targets {
+			status, body, err := postAnalyze(ctx, url, t.req, sc.RequestTimeout)
 			if err != nil || status != http.StatusOK {
-				violation("post-chaos sweep for %s failed (status %d, err %v)", app, status, err)
+				violation("post-chaos sweep for %s failed (status %d, err %v)", t.label, status, err)
 				continue
 			}
-			if !bytes.Equal(body, reference[app]) {
-				violation("post-chaos cache serves non-canonical bytes for %s: partial write survived", app)
+			if !bytes.Equal(body, reference[t.label]) {
+				violation("post-chaos cache serves non-canonical bytes for %s: partial write survived", t.label)
 			}
 		}
 		// Drain under load: readiness must flip and in-flight requests
@@ -233,7 +267,7 @@ func soakDrain(ctx context.Context, url string, srv *Server, sc SoakConfig, viol
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			status, body, err := postAnalyze(ctx, url, app, sc.Instrs, sc.RequestTimeout)
+			status, body, err := postAnalyze(ctx, url, AnalyzeRequest{App: app, Instrs: sc.Instrs}, sc.RequestTimeout)
 			if err != nil {
 				violation("drain: in-flight request cut off: %v", err)
 				return
@@ -250,7 +284,7 @@ func soakDrain(ctx context.Context, url string, srv *Server, sc SoakConfig, viol
 	if err != nil || status != http.StatusServiceUnavailable {
 		violation("drain: readyz answered %d (err %v), want 503", status, err)
 	}
-	status, body, err = postAnalyze(ctx, url, sc.Apps[0], sc.Instrs, sc.RequestTimeout)
+	status, body, err = postAnalyze(ctx, url, AnalyzeRequest{App: sc.Apps[0], Instrs: sc.Instrs}, sc.RequestTimeout)
 	if err != nil || status != http.StatusServiceUnavailable {
 		violation("drain: new request answered %d (err %v), want shed 503", status, err)
 	} else if _, ok := structuredError(body); !ok {
@@ -285,8 +319,9 @@ func withServer(ctx context.Context, cfg Config, body func(url string, srv *Serv
 }
 
 // postAnalyze issues one analysis request and returns (status, body).
-func postAnalyze(ctx context.Context, url, app string, instrs uint64, timeout time.Duration) (int, []byte, error) {
-	reqBody, err := json.Marshal(AnalyzeRequest{App: app, Instrs: instrs, TimeoutMillis: timeout.Milliseconds()})
+func postAnalyze(ctx context.Context, url string, ar AnalyzeRequest, timeout time.Duration) (int, []byte, error) {
+	ar.TimeoutMillis = timeout.Milliseconds()
+	reqBody, err := json.Marshal(ar)
 	if err != nil {
 		return 0, nil, err
 	}

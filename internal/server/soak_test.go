@@ -22,6 +22,7 @@ func TestSoakUnderChaos(t *testing.T) {
 	var out bytes.Buffer
 	rep, err := Soak(context.Background(), base, SoakConfig{
 		Apps:              []string{"wordpress", "verilator"},
+		Scenario:          "name=soak;seed=5;requests=64;arrival=gamma:0.7;tenants=wordpress:slo=interactive,verilator:slo=batch",
 		Workers:           4,
 		RequestsPerWorker: 4,
 		Instrs:            60_000,
@@ -43,6 +44,9 @@ func TestSoakUnderChaos(t *testing.T) {
 	}
 	if rep.Reference == nil || rep.Reference.App != "wordpress" || rep.Reference.Speedup <= 0 {
 		t.Errorf("reference = %+v", rep.Reference)
+	}
+	if rep.Scenario == nil || rep.Scenario.Scenario != "soak" || len(rep.Scenario.Tenants) != 2 {
+		t.Errorf("scenario reference = %+v", rep.Scenario)
 	}
 	if !strings.Contains(out.String(), "all invariants held") {
 		t.Errorf("soak log missing final verdict:\n%s", out.String())

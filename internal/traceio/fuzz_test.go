@@ -69,11 +69,26 @@ func decodeAll(t *testing.T, data []byte) {
 	}
 	_, _ = ReadProfile(bytes.NewReader(data))
 	_, _ = ReadStats(bytes.NewReader(data))
+	_, _ = ReadScenario(bytes.NewReader(data))
+	_, _ = ReadScenarioRows(bytes.NewReader(data))
+}
+
+// tinyScenario builds a small two-tenant scenario trace.
+func tinyScenario() *ScenarioTrace {
+	return &ScenarioTrace{
+		Name: "t", Seed: 7, Arrival: "gamma", ArrivalShape: 0.5,
+		Phases: []float64{0.5, 1.5},
+		Tenants: []ScenarioTenant{
+			{Name: "a", App: "wordpress", SLO: "interactive", Weight: 2, Seed: 11},
+			{Name: "b", App: "kafka", SLO: "batch", Weight: 1, Seed: 12},
+		},
+		Recs: []ScenarioRec{{Tenant: 0, Phase: 0, Gap: 3}, {Tenant: 1, Phase: 1, Gap: 90}},
+	}
 }
 
 // encodings returns one valid byte stream per format.
 func encodings(t testing.TB) map[string][]byte {
-	var pbuf, prbuf, sbuf bytes.Buffer
+	var pbuf, prbuf, sbuf, scbuf, sc1buf, rbuf bytes.Buffer
 	if err := WriteProgram(&pbuf, tinyProgram(t)); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +98,21 @@ func encodings(t testing.TB) map[string][]byte {
 	if err := WriteStats(&sbuf, &sim.Stats{Instrs: 100, BaseInstrs: 90, Cycles: 250, L1IMisses: 3}); err != nil {
 		t.Fatal(err)
 	}
-	return map[string][]byte{"program": pbuf.Bytes(), "profile": prbuf.Bytes(), "stats": sbuf.Bytes()}
+	if err := WriteScenario(&scbuf, tinyScenario()); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeScenarioV1(&sc1buf, tinyScenario()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteScenarioRows(&rbuf, []ScenarioRow{
+		{Name: "a", App: "wordpress", SLO: "interactive", Weight: 2, Requests: 9, Blocks: 40, Instrs: 500, Misses: 6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"program": pbuf.Bytes(), "profile": prbuf.Bytes(), "stats": sbuf.Bytes(),
+		"scenario": scbuf.Bytes(), "scenario-v1": sc1buf.Bytes(), "scenario-rows": rbuf.Bytes(),
+	}
 }
 
 // TestDecodeTruncationsAndFlipsNeverPanic sweeps every prefix and every

@@ -1,0 +1,125 @@
+package traceio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestScenarioRoundTrip(t *testing.T) {
+	want := tinyScenario()
+	var buf bytes.Buffer
+	if err := WriteScenario(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestScenarioV1Compat: the legacy v1 framing must still decode, with the
+// fields v1 never carried filled in with neutral defaults.
+func TestScenarioV1Compat(t *testing.T) {
+	src := tinyScenario()
+	var buf bytes.Buffer
+	if err := writeScenarioV1(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != src.Name || got.Seed != src.Seed {
+		t.Fatalf("v1 header mismatch: %+v", got)
+	}
+	if got.Arrival != "poisson" || got.ArrivalShape != 0 || !reflect.DeepEqual(got.Phases, []float64{1}) {
+		t.Fatalf("v1 defaults wrong: arrival=%q shape=%v phases=%v", got.Arrival, got.ArrivalShape, got.Phases)
+	}
+	if len(got.Tenants) != len(src.Tenants) {
+		t.Fatalf("tenant count %d, want %d", len(got.Tenants), len(src.Tenants))
+	}
+	for i, tn := range got.Tenants {
+		if tn.Name != src.Tenants[i].Name || tn.App != src.Tenants[i].App {
+			t.Fatalf("tenant %d identity mismatch: %+v", i, tn)
+		}
+		if tn.SLO != "std" || tn.Weight != 1 || tn.Seed != 0 {
+			t.Fatalf("tenant %d defaults wrong: %+v", i, tn)
+		}
+	}
+	if len(got.Recs) != len(src.Recs) {
+		t.Fatalf("rec count %d, want %d", len(got.Recs), len(src.Recs))
+	}
+	for i, r := range got.Recs {
+		if r.Tenant != src.Recs[i].Tenant || r.Phase != 0 || r.Gap != 0 {
+			t.Fatalf("rec %d mismatch: %+v", i, r)
+		}
+	}
+}
+
+func TestScenarioRejectsOutOfRangeRecord(t *testing.T) {
+	bad := tinyScenario()
+	bad.Recs = append(bad.Recs, ScenarioRec{Tenant: 99})
+	var buf bytes.Buffer
+	if err := WriteScenario(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadScenario(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("record naming a nonexistent tenant decoded without error")
+	}
+	bad = tinyScenario()
+	bad.Recs[0].Phase = 7
+	buf.Reset()
+	if err := WriteScenario(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadScenario(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("record naming a nonexistent phase decoded without error")
+	}
+}
+
+func TestScenarioRejectsEmptyTenants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteScenario(&buf, &ScenarioTrace{Name: "x", Phases: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadScenario(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("tenantless scenario decoded without error")
+	}
+}
+
+func TestScenarioRowsRoundTrip(t *testing.T) {
+	want := []ScenarioRow{
+		{Name: "a", App: "wordpress", SLO: "interactive", Weight: 2.5, Requests: 10, Blocks: 200, Instrs: 2400, Misses: 31},
+		{Name: "b", App: "kafka", SLO: "batch", Weight: 1, Requests: 4, Blocks: 88, Instrs: 1100, Misses: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteScenarioRows(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenarioRows(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestScenarioWriteDeterminism: encoding the same trace twice yields
+// byte-identical streams (the artifact-cache identity property).
+func TestScenarioWriteDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteScenario(&a, tinyScenario()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteScenario(&b, tinyScenario()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same scenario differ")
+	}
+}

@@ -1,0 +1,126 @@
+package traffic
+
+import (
+	"ispy/internal/rng"
+	"ispy/internal/traceio"
+)
+
+// Compose realizes a spec into a scenario trace: it simulates the arrival
+// race between tenants over virtual time and records the resulting request
+// order. Each diurnal phase spans exactly one virtual time unit, so with
+// mean-1 phase multipliers the composed window covers roughly
+// Requests/aggregate-rate "days".
+//
+// Determinism: each tenant samples interarrivals from its own seeded
+// stream, the next arrival is chosen by minimum time with ties broken by
+// tenant index, and all arithmetic is the repo's own deterministic float
+// code — the same spec always composes the same bytes.
+func Compose(spec *Spec) *traceio.ScenarioTrace {
+	n := len(spec.Tenants)
+	// Normalize weights so the aggregate base rate is Requests per
+	// len(Phases) units: the whole trace spans about one simulated day.
+	var wsum float64
+	for i := range spec.Tenants {
+		wsum += spec.Tenants[i].Weight
+	}
+	scale := float64(spec.Requests) / (float64(len(spec.Phases)) * wsum)
+
+	rs := make([]*rng.Rand, n)
+	rate := make([]float64, n)
+	next := make([]float64, n)
+	for i := range spec.Tenants {
+		rs[i] = rng.New(spec.Tenants[i].Seed)
+		rate[i] = spec.Tenants[i].Weight * scale
+		next[i] = spec.interarrival(rs[i]) / (rate[i] * spec.phaseMult(0))
+	}
+
+	tr := &traceio.ScenarioTrace{
+		Name:         spec.Name,
+		Seed:         spec.Seed,
+		Arrival:      spec.Arrival,
+		ArrivalShape: spec.ArrivalShape,
+		Phases:       append([]float64(nil), spec.Phases...),
+		Tenants:      make([]traceio.ScenarioTenant, n),
+		Recs:         make([]traceio.ScenarioRec, 0, spec.Requests),
+	}
+	for i := range spec.Tenants {
+		t := &spec.Tenants[i]
+		tr.Tenants[i] = traceio.ScenarioTenant{
+			Name: t.Name, App: t.App, SLO: t.SLO, Weight: t.Weight, Seed: t.Seed,
+		}
+	}
+
+	prev := 0.0
+	for len(tr.Recs) < spec.Requests {
+		win := 0
+		for i := 1; i < n; i++ {
+			if next[i] < next[win] {
+				win = i
+			}
+		}
+		t := next[win]
+		gap := t - prev
+		if gap < 0 {
+			gap = 0
+		}
+		tr.Recs = append(tr.Recs, traceio.ScenarioRec{
+			Tenant: uint32(win),
+			Phase:  uint32(spec.phaseIndex(t)),
+			Gap:    uint64(gap*1e6 + 0.5),
+		})
+		prev = t
+		next[win] = t + spec.interarrival(rs[win])/(rate[win]*spec.phaseMult(t))
+	}
+	return tr
+}
+
+// interarrival draws one mean-1 interarrival time from the spec's arrival
+// process.
+func (s *Spec) interarrival(r *rng.Rand) float64 {
+	switch s.Arrival {
+	case ArrivalGamma:
+		return r.Gamma(s.ArrivalShape) / s.ArrivalShape
+	case ArrivalWeibull:
+		return r.Weibull(s.ArrivalShape) / rng.GammaFn(1+1/s.ArrivalShape)
+	default: // ArrivalPoisson
+		return r.Exp()
+	}
+}
+
+// phaseIndex maps a virtual time to its diurnal phase (each phase lasts
+// one time unit; the day repeats).
+func (s *Spec) phaseIndex(t float64) int {
+	if t < 0 {
+		return 0
+	}
+	return int(t) % len(s.Phases)
+}
+
+// phaseMult is the diurnal rate multiplier in effect at virtual time t.
+func (s *Spec) phaseMult(t float64) float64 { return s.Phases[s.phaseIndex(t)] }
+
+// SpecFromTrace reconstructs the normalized spec a trace was composed from
+// (or, for a hand-edited/v1 trace, a spec consistent with its header).
+// Replay needs it to rebuild the tenant worlds; the records themselves
+// drive scheduling. Traces naming unknown app presets fail here with the
+// offending tenant named, exactly like ParseSpec.
+func SpecFromTrace(tr *traceio.ScenarioTrace) (*Spec, error) {
+	s := &Spec{
+		Name:         tr.Name,
+		Seed:         tr.Seed,
+		Requests:     len(tr.Recs),
+		Arrival:      tr.Arrival,
+		ArrivalShape: tr.ArrivalShape,
+		ZipfSkew:     -1,
+		Phases:       append([]float64(nil), tr.Phases...),
+		Tenants:      make([]TenantSpec, len(tr.Tenants)),
+	}
+	for i := range tr.Tenants {
+		t := &tr.Tenants[i]
+		s.Tenants[i] = TenantSpec{Name: t.Name, App: t.App, SLO: t.SLO, Weight: t.Weight, Seed: t.Seed}
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,143 @@
+package traffic
+
+import (
+	"testing"
+
+	"ispy/internal/workload"
+)
+
+// TestExecutorSingleTenantMatchesWorkload: with one tenant the interleaving
+// executor degenerates to that tenant's plain workload executor — same
+// blocks (offset 0), same taken bits. The context-switch machinery must be
+// invisible when there is nothing to switch to.
+func TestExecutorSingleTenantMatchesWorkload(t *testing.T) {
+	spec := mustSpec(t, "seed=6;requests=50;tenants=mediawiki")
+	w, err := BuildWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Compose(spec)
+	ex, err := NewExecutor(w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := workload.NewExecutor(w.Tenants[0].W, workload.Input{
+		Name: "tenant:mediawiki",
+		Seed: spec.Tenants[0].Seed ^ 0x6a09e667f3bcc908,
+	})
+	for i := 0; i < 20000; i++ {
+		got, want := ex.Next(), ref.Next()
+		if got != want {
+			t.Fatalf("block %d: got %d, want %d", i, got, want)
+		}
+		if gt, wt := ex.LastWasTaken(), ref.LastWasTaken(); gt != wt {
+			t.Fatalf("block %d: taken %v, want %v", i, gt, wt)
+		}
+	}
+}
+
+// TestExecutorInterleavesPerRequest: with two tenants, consecutive blocks
+// between request boundaries come from one tenant's range, and boundaries
+// follow the trace schedule.
+func TestExecutorInterleavesPerRequest(t *testing.T) {
+	spec := mustSpec(t, "seed=8;requests=64;tenants=tomcat,kafka")
+	w, err := BuildWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Compose(spec)
+	ex, err := NewExecutor(w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := w.Tenants[1].BlockOff
+	tenantOf := func(b int) uint32 {
+		if b < split {
+			return 0
+		}
+		return 1
+	}
+	reqs := 0
+	curTenant := tr.Recs[0].Tenant
+	for i := 0; i < 300000 && reqs < 200; i++ {
+		b := ex.Next()
+		if got := tenantOf(b); got != curTenant {
+			t.Fatalf("block %d (merged id %d) from tenant %d while request %d belongs to tenant %d",
+				i, b, got, reqs, curTenant)
+		}
+		local := b
+		if curTenant == 1 {
+			local = b - split
+		}
+		if w.Tenants[curTenant].W.Flow[local].Kind == workload.FlowEndRequest {
+			reqs++
+			// The schedule loops past the end of the recorded trace.
+			curTenant = tr.Recs[reqs%len(tr.Recs)].Tenant
+		}
+	}
+	if reqs < 200 {
+		t.Fatalf("only %d requests completed; interleaving stalled", reqs)
+	}
+	if got := ex.Requests(); got != uint64(reqs) {
+		t.Fatalf("executor counted %d requests, walk saw %d", got, reqs)
+	}
+	// Both tenants actually served requests.
+	var served [2]bool
+	for _, r := range tr.Recs {
+		served[r.Tenant] = true
+	}
+	if !served[0] || !served[1] {
+		t.Fatalf("schedule never switches: %v", served)
+	}
+}
+
+// TestExecutorBatchMatchesScalar: NextN is exactly equivalent to repeated
+// Next calls (the sim fast path relies on this).
+func TestExecutorBatchMatchesScalar(t *testing.T) {
+	spec := mustSpec(t, "seed=4;requests=32;arrival=gamma:0.5;tenants=wordpress,verilator")
+	w, err := BuildWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Compose(spec)
+	a, err := NewExecutor(w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExecutor(w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int32, 256)
+	taken := make([]bool, 256)
+	for round := 0; round < 40; round++ {
+		n := a.NextN(ids, taken)
+		if n != 256 {
+			t.Fatalf("NextN returned %d", n)
+		}
+		for i := 0; i < n; i++ {
+			if want := int32(b.Next()); ids[i] != want {
+				t.Fatalf("round %d block %d: batch %d, scalar %d", round, i, ids[i], want)
+			}
+			if taken[i] != b.LastWasTaken() {
+				t.Fatalf("round %d block %d: taken bit diverged", round, i)
+			}
+		}
+		if a.LastWasTaken() != b.LastWasTaken() {
+			t.Fatal("LastWasTaken diverged after batch")
+		}
+	}
+}
+
+func TestNewExecutorRejectsEmptyTrace(t *testing.T) {
+	spec := mustSpec(t, "tenants=kafka")
+	w, err := BuildWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Compose(spec)
+	tr.Recs = tr.Recs[:0]
+	if _, err := NewExecutor(w, tr); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

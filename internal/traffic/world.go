@@ -1,0 +1,132 @@
+package traffic
+
+import (
+	"fmt"
+
+	"ispy/internal/isa"
+	"ispy/internal/workload"
+)
+
+// Tenant is one tenant's runtime state inside a built world: its workload
+// (shared between tenants of the same app — the generator is deterministic
+// and the workload is read-only) and the offsets its blocks and funcs
+// occupy in the merged program.
+type Tenant struct {
+	Spec      TenantSpec
+	W         *workload.Workload
+	BlockOff  int // ID of this tenant's block 0 in the merged program
+	FuncOff   int
+	NumBlocks int
+}
+
+// World is a scenario's merged address space: every tenant's program laid
+// out in one text segment. Each tenant occupies its own block/func range —
+// even two tenants of the same preset get distinct copies of the text, so
+// context-switching between them genuinely thrashes the I-cache the way
+// distinct processes would.
+type World struct {
+	Spec    *Spec
+	Tenants []*Tenant
+	Prog    *isa.Program // merged baseline program, laid out
+}
+
+// BuildWorld generates each tenant's workload and merges the programs.
+// The spec must be normalized (ParseSpec and SpecFromTrace both return
+// normalized specs).
+func BuildWorld(spec *Spec) (*World, error) {
+	w := &World{Spec: spec, Tenants: make([]*Tenant, len(spec.Tenants))}
+	byApp := make(map[string]*workload.Workload, len(spec.Tenants))
+	progs := make([]*isa.Program, len(spec.Tenants))
+	for i := range spec.Tenants {
+		ts := spec.Tenants[i]
+		wl := byApp[ts.App]
+		if wl == nil {
+			params, err := workload.LookupParams(ts.App)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: tenant %q: %w", ts.Name, err)
+			}
+			wl = workload.Generate(params)
+			byApp[ts.App] = wl
+		}
+		w.Tenants[i] = &Tenant{Spec: ts, W: wl, NumBlocks: len(wl.Prog.Blocks)}
+		progs[i] = wl.Prog
+	}
+	merged, err := w.Merged(progs)
+	if err != nil {
+		return nil, err
+	}
+	w.Prog = merged
+	return w, nil
+}
+
+// Merged concatenates one program per tenant into a single laid-out
+// program, offsetting block IDs, func indices, and prefetch targets. The
+// per-tenant programs must have each tenant's block structure (injection
+// passes never alter it), so the same offsets hold for the baseline and
+// for any prefetch-injected variant — block ID b+BlockOff refers to the
+// same workload block in both. It also records each tenant's offsets on
+// the first call.
+func (w *World) Merged(progs []*isa.Program) (*isa.Program, error) {
+	if len(progs) != len(w.Tenants) {
+		return nil, fmt.Errorf("traffic: merge got %d programs for %d tenants", len(progs), len(w.Tenants))
+	}
+	out := &isa.Program{}
+	for ti, t := range w.Tenants {
+		p := progs[ti]
+		if len(p.Blocks) != t.NumBlocks {
+			return nil, fmt.Errorf("traffic: tenant %q variant has %d blocks, want %d (injection must preserve block structure)",
+				t.Spec.Name, len(p.Blocks), t.NumBlocks)
+		}
+		boff, foff := len(out.Blocks), len(out.Funcs)
+		if w.Prog == nil {
+			// First merge (BuildWorld): record the offsets.
+			t.BlockOff, t.FuncOff = boff, foff
+		} else if t.BlockOff != boff || t.FuncOff != foff {
+			return nil, fmt.Errorf("traffic: tenant %q offsets moved (%d/%d -> %d/%d)",
+				t.Spec.Name, t.BlockOff, t.FuncOff, boff, foff)
+		}
+		for i := range p.Blocks {
+			b := p.Blocks[i]
+			b.ID = boff + i
+			b.Func += foff
+			ins := make([]isa.Instr, len(b.Instrs))
+			copy(ins, b.Instrs)
+			for j := range ins {
+				if ins[j].Kind.IsPrefetch() && ins[j].TargetBlock >= 0 {
+					ins[j].TargetBlock += int32(boff)
+				}
+			}
+			b.Instrs = ins
+			out.Blocks = append(out.Blocks, b)
+		}
+		for fi := range p.Funcs {
+			f := p.Funcs[fi]
+			f.Name = t.Spec.Name + "." + f.Name
+			bl := make([]int, len(f.Blocks))
+			for j, bid := range f.Blocks {
+				bl[j] = bid + boff
+			}
+			f.Blocks = bl
+			out.Funcs = append(out.Funcs, f)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("traffic: merged program invalid: %w", err)
+	}
+	out.Layout()
+	return out, nil
+}
+
+// BackendCPI is the request-rate-weighted blend of the tenants' backend
+// CPIs — the merged stream's equivalent of a single preset's BackendCPI.
+func (w *World) BackendCPI() float64 {
+	var num, den float64
+	for _, t := range w.Tenants {
+		num += t.Spec.Weight * t.W.Params.BackendCPI
+		den += t.Spec.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"testing"
+
+	"ispy/internal/isa"
+	"ispy/internal/workload"
+)
+
+func TestBuildWorldMergesDisjointTenants(t *testing.T) {
+	w, err := BuildWorld(mustSpec(t, "seed=1;tenants=wordpress*2,kafka"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Offsets tile the merged block space exactly.
+	want := 0
+	for _, tn := range w.Tenants {
+		if tn.BlockOff != want {
+			t.Fatalf("tenant %q block offset %d, want %d", tn.Spec.Name, tn.BlockOff, want)
+		}
+		want += tn.NumBlocks
+	}
+	if want != len(w.Prog.Blocks) {
+		t.Fatalf("merged program has %d blocks, tenants cover %d", len(w.Prog.Blocks), want)
+	}
+	// Two tenants of the same app get distinct text: their copies of block 0
+	// are laid out at different addresses.
+	a := w.Prog.Blocks[w.Tenants[0].BlockOff].Addr
+	b := w.Prog.Blocks[w.Tenants[1].BlockOff].Addr
+	if a == b {
+		t.Fatal("same-app tenants share text addresses")
+	}
+	// Func names carry the tenant prefix.
+	if name := w.Prog.Funcs[0].Name; len(name) == 0 || name[:len("wordpress#1.")] != "wordpress#1." {
+		t.Fatalf("func name %q lacks tenant prefix", name)
+	}
+}
+
+// TestMergedVariantKeepsOffsets: merging prefetch-injected per-tenant
+// variants (same block structure) reproduces the same offsets, so block
+// IDs mean the same thing in baseline and variant runs.
+func TestMergedVariantKeepsOffsets(t *testing.T) {
+	w, err := BuildWorld(mustSpec(t, "seed=2;tenants=tomcat,kafka"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := make([]*isa.Program, len(w.Tenants))
+	for i, tn := range w.Tenants {
+		v := tn.W.Prog.Clone()
+		// Inject a prefetch into block 0, as an injection pass would:
+		// instructions change, block structure does not.
+		v.Blocks[0].Instrs = append([]isa.Instr{isa.NewPrefetch(isa.KindPrefetch, 1, 0, 0, 0)}, v.Blocks[0].Instrs...)
+		v.Layout()
+		variants[i] = v
+	}
+	mv, err := w.Merged(variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mv.Blocks) != len(w.Prog.Blocks) {
+		t.Fatalf("variant merge has %d blocks, want %d", len(mv.Blocks), len(w.Prog.Blocks))
+	}
+	// The injected prefetch in tenant 1's block 0 must target tenant 1's
+	// block 1, not tenant 0's.
+	b0 := &mv.Blocks[w.Tenants[1].BlockOff]
+	pf := &b0.Instrs[0]
+	if !pf.Kind.IsPrefetch() || pf.TargetBlock != int32(w.Tenants[1].BlockOff+1) {
+		t.Fatalf("prefetch target %d, want %d", pf.TargetBlock, w.Tenants[1].BlockOff+1)
+	}
+	// Structure mismatches are rejected.
+	variants[0].Blocks = variants[0].Blocks[:len(variants[0].Blocks)-1]
+	if _, err := w.Merged(variants); err == nil {
+		t.Fatal("structure-altering variant accepted")
+	}
+}
+
+func TestWorldBackendCPI(t *testing.T) {
+	w, err := BuildWorld(mustSpec(t, "seed=3;tenants=wordpress:weight=1,kafka:weight=3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := workload.PresetParams("wordpress").BackendCPI
+	kf := workload.PresetParams("kafka").BackendCPI
+	want := (wp + 3*kf) / 4
+	if got := w.BackendCPI(); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("blended CPI %v, want %v", got, want)
+	}
+}

@@ -130,6 +130,7 @@ func DefaultConfig() Config {
 			"ispy/internal/sim",
 			"ispy/internal/cache",
 			"ispy/internal/traceio",
+			"ispy/internal/traffic",
 		},
 		ErrorPkgs: []string{
 			"ispy/internal/traceio",
@@ -168,6 +169,7 @@ func DefaultConfig() Config {
 		PureExternal: []string{"math", "math/bits"},
 		SinkPkgs: []string{
 			"ispy/internal/traceio",
+			"ispy/internal/traffic",
 			"ispy/internal/metrics",
 			"ispy/internal/server",
 		},

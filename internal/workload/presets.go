@@ -9,6 +9,11 @@
 // the JVM; see DESIGN.md §1.
 package workload
 
+import (
+	"fmt"
+	"strings"
+)
+
 // AppNames lists the nine applications in the paper's (alphabetical) order.
 var AppNames = []string{
 	"cassandra",
@@ -23,13 +28,27 @@ var AppNames = []string{
 }
 
 // PresetParams returns the generation parameters for a named application.
-// It panics on unknown names (programming error; use AppNames).
+// It panics on unknown names (programming error; use AppNames). Callers
+// handling externally supplied names — scenario specs, CLI flags, HTTP
+// request bodies — must use LookupParams instead.
 func PresetParams(name string) Params {
-	p, ok := presets[name]
-	if !ok {
-		panic("workload: unknown app preset " + name)
+	p, err := LookupParams(name)
+	if err != nil {
+		panic(err.Error())
 	}
 	return p
+}
+
+// LookupParams returns the generation parameters for a named application,
+// or an error naming the valid presets when the name is unknown. This is
+// the boundary-safe variant of PresetParams for untrusted input.
+func LookupParams(name string) (Params, error) {
+	p, ok := presets[name]
+	if !ok {
+		return Params{}, fmt.Errorf("workload: unknown app preset %q (valid: %s)",
+			name, strings.Join(AppNames, ", "))
+	}
+	return p, nil
 }
 
 // Preset generates the named application's workload.

@@ -45,6 +45,17 @@ go run ./cmd/ispyd soak -apps wordpress -workers 2 -requests 3 \
     echo "server chaos smoke: soak reported an invariant violation" >&2
     exit 1
 }
+echo "== scenario smoke (multi-tenant traffic through ispy and ispyd)"
+SCENARIO='name=smoke;seed=11;requests=160;arrival=gamma:0.7;day=0.6,1.4;zipf=0.8;tenants=wordpress:slo=interactive,tomcat:slo=batch'
+go run ./cmd/ispy -instrs 120000 -scenario "$SCENARIO" >/dev/null 2>&1 || {
+    echo "scenario smoke: ispy -scenario failed" >&2
+    exit 1
+}
+go run ./cmd/ispyd soak -apps wordpress -workers 2 -requests 2 \
+    -instrs 60000 -fault-seed 20260807 -scenario "$SCENARIO" >/dev/null 2>&1 || {
+    echo "scenario smoke: ispyd soak with -scenario failed" >&2
+    exit 1
+}
 echo "== bench-script smoke (JSON schema + perf regression gate)"
 ISPY_BENCH_SMOKE=1 go test -run TestBenchScriptEmitsJSON .
 echo "== all checks passed"
