@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ispy-vet [-waivers] [-json] [-strict] [./...]
+//	ispy-vet [-waivers] [-json] [-strict] [-only pass,...] [./...]
 //
 // The package pattern is accepted for familiarity but the analyzer always
 // vets the whole module containing the working directory — the passes are
@@ -24,6 +24,11 @@
 // -strict promotes advisory findings (stale waivers) to gate failures.
 // The gate runs strict; plain invocations report them as warnings.
 //
+// -only restricts vetting to a comma-separated subset of passes (see
+// vetting.PassNames), for iterating on one class of finding. Unknown names
+// are a usage error. Unused-waiver accounting is suppressed under -only —
+// a waiver for a disabled pass is not stale — so it composes with -strict.
+//
 // Under GitHub Actions (GITHUB_ACTIONS=true) findings are additionally
 // emitted as ::error/::warning workflow annotations so they appear inline
 // on the PR diff.
@@ -37,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ispy/internal/vetting"
 )
@@ -45,11 +51,31 @@ func main() {
 	listWaivers := flag.Bool("waivers", false, "list waivered sites instead of vetting")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per finding (live and waived)")
 	strict := flag.Bool("strict", false, "treat advisory findings (stale waivers) as failures")
+	only := flag.String("only", "", "comma-separated pass subset to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ispy-vet [-waivers] [-json] [-strict] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ispy-vet [-waivers] [-json] [-strict] [-only pass,...] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	var onlyPasses []string
+	if *only != "" {
+		known := make(map[string]bool, len(vetting.PassNames))
+		for _, name := range vetting.PassNames {
+			known[name] = true
+		}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "ispy-vet: unknown pass %q (known: %s)\n",
+					name, strings.Join(vetting.PassNames, ", "))
+				os.Exit(2)
+			}
+			onlyPasses = append(onlyPasses, name)
+		}
+	}
 	for _, arg := range flag.Args() {
 		if arg != "./..." && arg != "." {
 			fmt.Fprintf(os.Stderr, "ispy-vet: unsupported pattern %q (the module is always vetted whole)\n", arg)
@@ -71,7 +97,9 @@ func main() {
 		fatal(err)
 	}
 
-	res := vetting.Run(pkgs, vetting.DefaultConfig())
+	cfg := vetting.DefaultConfig()
+	cfg.Only = onlyPasses
+	res := vetting.Run(pkgs, cfg)
 
 	if *listWaivers {
 		for _, w := range res.Waivers {

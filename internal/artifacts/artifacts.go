@@ -210,6 +210,7 @@ func (c *Cache) persist(ctx context.Context, name string, data []byte) error {
 		return fmt.Errorf("artifacts: write abandoned: %w", context.Cause(ctx))
 	}
 	done := make(chan error, 1)
+	//ispy:detach deliberately abandoned on deadline: the buffered send never blocks, the write runs to completion, and the select's ctx arm is the whole point
 	go func() { done <- do() }()
 	select {
 	case err := <-done:
@@ -233,6 +234,7 @@ func readFile(ctx context.Context, path string) ([]byte, error) {
 		err  error
 	}
 	done := make(chan result, 1)
+	//ispy:detach deliberately abandoned on deadline: a hung disk read is walked away from; the buffered send lets the straggler finish and be collected
 	go func() {
 		data, err := os.ReadFile(path)
 		done <- result{data, err}

@@ -227,7 +227,7 @@ func newLab(ctx context.Context, cfg Config, pool *Pool) *Lab {
 		out = os.Stderr
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ispy:ctx nil-ctx compatibility guard for CLI construction; server callers always pass the request-derived ctx
 	}
 	if pool == nil {
 		pool = NewPool(jobs)

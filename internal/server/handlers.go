@@ -341,6 +341,7 @@ func (s *Server) respond(ctx context.Context, w http.ResponseWriter, run func(co
 		err  error
 	}
 	ch := make(chan result, 1)
+	//ispy:detach the response straggler is abandoned by design when the deadline expires; its ctx is dead so downstream work no-ops (DESIGN.md §12)
 	go func() {
 		resp, err := run(ctx)
 		ch <- result{resp, err}

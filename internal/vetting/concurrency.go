@@ -24,18 +24,59 @@ import (
 
 func checkConcurrency(pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
+	decls := declIndex(pkgs)
 	for _, p := range pkgs {
-		diags = append(diags, concPoolCtx(p)...)
+		diags = append(diags, concPoolCtx(p, decls)...)
 		diags = append(diags, concLockCopies(p)...)
 		diags = append(diags, concHeldLocks(p)...)
 	}
 	return diags
 }
 
-// --- check 1: Pool task literals ignoring their ctx parameter ---
+// --- check 1: Pool tasks ignoring their ctx parameter ---
 
-func concPoolCtx(p *Package) []Diagnostic {
+// declFuncs maps every module function object to its declaring package and
+// declaration, so a named task passed to a pool resolves across packages.
+type declFuncs map[*types.Func]struct {
+	p    *Package
+	decl *ast.FuncDecl
+}
+
+func declIndex(pkgs []*Package) declFuncs {
+	idx := make(declFuncs)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						idx[fn] = struct {
+							p    *Package
+							decl *ast.FuncDecl
+						}{p, fd}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// concPoolCtx flags pool tasks that name a context parameter but never use
+// it. The task may be a func literal, a named function (identifier or
+// selector), or a function-valued variable whose initializer literal is
+// visible in the same package.
+func concPoolCtx(p *Package, decls declFuncs) []Diagnostic {
 	var diags []Diagnostic
+	checkLit := func(lp *Package, ft *ast.FuncType, body *ast.BlockStmt, pos ast.Node, what string) {
+		ctx := namedCtxParam(lp, ft)
+		if ctx == nil {
+			return
+		}
+		if !identUsed(lp, body, ctx) {
+			diags = append(diags, Diagnostic{Pos: p.Fset.Position(pos.Pos()), Pass: PassConcurrency,
+				Message: fmt.Sprintf("%s names its context parameter %q but never uses it; honor cancellation or use an unnamed parameter", what, ctx.Name())})
+		}
+	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -43,23 +84,78 @@ func concPoolCtx(p *Package) []Diagnostic {
 				return true
 			}
 			for _, arg := range call.Args {
-				lit, ok := arg.(*ast.FuncLit)
-				if !ok {
-					continue
-				}
-				ctx := namedCtxParam(p, lit)
-				if ctx == nil {
-					continue
-				}
-				if !identUsed(p, lit.Body, ctx) {
-					diags = append(diags, Diagnostic{Pos: p.Fset.Position(lit.Pos()), Pass: PassConcurrency,
-						Message: fmt.Sprintf("pool task names its context parameter %q but never uses it; honor cancellation or use an unnamed parameter", ctx.Name())})
+				switch arg := ast.Unparen(arg).(type) {
+				case *ast.FuncLit:
+					checkLit(p, arg.Type, arg.Body, arg, "pool task")
+				case *ast.Ident:
+					concCheckNamedTask(p, decls, arg, p.Info.Uses[arg], checkLit)
+				case *ast.SelectorExpr:
+					concCheckNamedTask(p, decls, arg, p.Info.Uses[arg.Sel], checkLit)
 				}
 			}
 			return true
 		})
 	}
 	return diags
+}
+
+// concCheckNamedTask applies the ctx-usage rule to a non-literal task
+// argument: a named function's declaration, or the initializer literal of a
+// function-valued variable.
+func concCheckNamedTask(p *Package, decls declFuncs, arg ast.Expr, obj types.Object,
+	checkLit func(*Package, *ast.FuncType, *ast.BlockStmt, ast.Node, string)) {
+	switch obj := obj.(type) {
+	case *types.Func:
+		if di, ok := decls[obj]; ok {
+			checkLit(di.p, di.decl.Type, di.decl.Body, arg, fmt.Sprintf("pool task %s", obj.Name()))
+		}
+	case *types.Var:
+		if lit := initializerLit(p, obj); lit != nil {
+			checkLit(p, lit.Type, lit.Body, arg, fmt.Sprintf("pool task %s", obj.Name()))
+		}
+	}
+}
+
+// initializerLit finds the function literal a variable is bound to (via :=,
+// =, or a var declaration) within the same package.
+func initializerLit(p *Package, v *types.Var) *ast.FuncLit {
+	var found *ast.FuncLit
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if id, ok := lhs.(*ast.Ident); ok && (p.Info.Defs[id] == v || p.Info.Uses[id] == v) {
+						if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+							found = lit
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i >= len(n.Values) {
+						break
+					}
+					if p.Info.Defs[name] == v {
+						if lit, ok := ast.Unparen(n.Values[i]).(*ast.FuncLit); ok {
+							found = lit
+						}
+					}
+				}
+			}
+			return found == nil
+		})
+		if found != nil {
+			break
+		}
+	}
+	return found
 }
 
 // isPoolGo reports whether call is a Go method on a type from
@@ -82,11 +178,11 @@ func isPoolGo(p *Package, call *ast.CallExpr) bool {
 
 // namedCtxParam returns the object of the first parameter whose type is
 // context.Context, when it has a real name.
-func namedCtxParam(p *Package, lit *ast.FuncLit) types.Object {
-	if lit.Type.Params == nil {
+func namedCtxParam(p *Package, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
 		return nil
 	}
-	for _, field := range lit.Type.Params.List {
+	for _, field := range ft.Params.List {
 		t := p.Info.TypeOf(field.Type)
 		if t == nil || !isContextType(t) {
 			continue

@@ -1,0 +1,41 @@
+// The goroutine-leak pass: every spawn site must have a provable join path
+// — a WaitGroup pairing, a channel the spawner awaits unconditionally, a
+// ctx-bounded task body, or (for pool tasks) a waited group. A goroutine
+// none of those cover is fire-and-forget: it can outlive its spawner, hold
+// references past shutdown, and (in the serving path) leak per-request.
+// Deliberately detached goroutines — the server's response straggler that a
+// deadline abandons — carry an //ispy:detach waiver with a reason.
+//
+// The join detection is syntactic and local by design (see spawn.go for the
+// exact witnesses); a join the analysis cannot see is a waiver with a
+// reason, not a silent pass.
+package vetting
+
+import (
+	"fmt"
+	"go/types"
+)
+
+func checkGoLeak(sa *spawnAnalysis, ws *waiverSet) []Diagnostic {
+	var diags []Diagnostic
+	for _, s := range sa.sites {
+		if s.joined {
+			continue
+		}
+		var msg string
+		switch {
+		case s.pool:
+			msg = fmt.Sprintf("pool task submitted to %s is never joined: no Wait() on the group and the group never escapes to a waiter", types.ExprString(s.poolRecv))
+		case s.body == nil:
+			msg = "goroutine launches a function value the analysis cannot resolve; no join path is provable"
+		default:
+			msg = "goroutine has no join path (no WaitGroup pairing, no channel awaited outside a select, not ctx-bounded); it can outlive its spawner"
+		}
+		d := Diagnostic{Pos: s.pos, Pass: PassGoLeak, Message: msg}
+		if ws.waive(d) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	return diags
+}

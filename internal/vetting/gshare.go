@@ -1,0 +1,514 @@
+// The static race pass: for every function that spawns goroutines, compare
+// each spawned task's accesses to shared mutable state — captured variables
+// and package-level vars, at the IR's key granularity (objects, field-global
+// struct fields) — against the spawner's accesses and against every sibling
+// task. A location written on one side and touched on the other needs a
+// protection witness:
+//
+//   - lockset: both accesses happen while a common sync lock (by receiver
+//     expression, the held-lock scanner's keying) is held — position-based
+//     within the function, so `mu.Lock(); x++; mu.Unlock()` counts;
+//   - happens-before: the spawner's access precedes the spawn (pre-spawn
+//     initialization) or follows the site's join (reading results after
+//     WaitGroup.Wait / group Wait / a direct channel receive);
+//   - disjoint slots: an element store `s[i] = v` whose index variable is
+//     per-iteration (declared inside the spawning loop or the task) writes a
+//     goroutine-private slot — the fan-out-into-rows idiom;
+//   - safe types: channels, sync primitives, and contexts synchronize by
+//     contract and are never racy state themselves.
+//
+// Approximations, documented in DESIGN.md §10: the pass sees a task's
+// direct accesses (including nested non-spawned closures, which run on the
+// same goroutine) but not accesses behind method or dynamic calls; lock
+// state is tracked linearly by position; field keys are instance-
+// insensitive, refined by the base object where one is syntactically
+// visible. All of these err toward silence on constructs the module uses
+// deliberately — a miss is a gap, never a false gate failure — while the
+// canonical bug shapes (an unsynchronized captured counter, a loop variable
+// shared by iterations' goroutines) are exactly what the pass proves absent.
+package vetting
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// raceAccess is one shared-state touch inside a scanned region.
+type raceAccess struct {
+	key flowKey
+	// root is the base object of a field/element chain (x in x.f or x[i]),
+	// nil when not syntactically resolvable.
+	root types.Object
+	// idxObj is the index variable for a slice/array element store.
+	idxObj types.Object
+	write  bool
+	pos    token.Position
+	locks  map[string]bool
+}
+
+func checkGShare(a *Analysis, sa *spawnAnalysis, ws *waiverSet) []Diagnostic {
+	var diags []Diagnostic
+	for _, owner := range a.graph.moduleNodes() {
+		sites := sa.byOwner[owner]
+		if len(sites) == 0 {
+			continue
+		}
+		diags = append(diags, raceCheckOwner(owner, sites, ws)...)
+	}
+	return diags
+}
+
+func raceCheckOwner(owner *Node, sites []*spawnSite, ws *waiverSet) []Diagnostic {
+	var diags []Diagnostic
+	body := owner.Body()
+	if body == nil {
+		return nil
+	}
+	p := sites[0].p
+	// The spawner's own accesses, excluding every task body.
+	skip := make(map[ast.Node]bool)
+	for _, s := range sites {
+		if s.body != nil {
+			skip[s.body] = true
+		}
+	}
+	parent := collectRaceAccesses(p, body, skip)
+	type siteAccs struct {
+		site *spawnSite
+		accs []raceAccess
+	}
+	var tasks []siteAccs
+	for _, s := range sites {
+		if s.body == nil {
+			continue // goleak already reports unresolvable tasks
+		}
+		taskSkip := make(map[ast.Node]bool)
+		for _, o := range sites {
+			if o != s && o.body != nil {
+				taskSkip[o.body] = true
+			}
+		}
+		tasks = append(tasks, siteAccs{s, collectRaceAccesses(s.bodyPkg, s.body, taskSkip)})
+	}
+
+	report := func(s *spawnSite, key flowKey, w, o raceAccess) {
+		d := Diagnostic{Pos: s.pos, Pass: PassGShare, Message: fmt.Sprintf(
+			"%s may race on %s: written at %s:%d, accessed at %s:%d without a common lock or happens-before",
+			s.desc, key, w.pos.Filename, w.pos.Line, o.pos.Filename, o.pos.Line)}
+		if !ws.waive(d) {
+			diags = append(diags, d)
+		}
+	}
+	reported := make(map[string]bool)
+	once := func(s *spawnSite, key flowKey, w, o raceAccess) {
+		id := fmt.Sprintf("%s:%d/%s", s.pos.Filename, s.pos.Line, key)
+		if !reported[id] {
+			reported[id] = true
+			report(s, key, w, o)
+		}
+	}
+
+	for ti, t := range tasks {
+		s := t.site
+		for _, acc := range t.accs {
+			if !acc.write || !sharedBeyond(acc, s.span) || slotted(acc, s) {
+				continue
+			}
+			// Task write vs sibling-iteration of the same loop-nested site.
+			if s.loop != nil && !declaredIn(keyObj(acc.key), s.loop) &&
+				(acc.root == nil || !declaredIn(acc.root, s.loop)) {
+				for _, other := range t.accs {
+					if other.key == acc.key && !slotted(other, s) &&
+						!locksIntersect(acc.locks, other.locks) &&
+						rootsCompatible(acc, other) {
+						once(s, acc.key, acc, other)
+						break
+					}
+				}
+			}
+			// Task write vs other tasks in the same function.
+			for oi, o := range tasks {
+				if oi == ti {
+					continue
+				}
+				for _, other := range o.accs {
+					if other.key == acc.key && sharedBeyond(other, o.site.span) &&
+						!slotted(other, o.site) && !locksIntersect(acc.locks, other.locks) &&
+						rootsCompatible(acc, other) {
+						once(s, acc.key, acc, other)
+						break
+					}
+				}
+			}
+			// Task write vs the spawner.
+			for _, pa := range parent {
+				if pa.key != acc.key || !rootsCompatible(acc, pa) {
+					continue
+				}
+				if preSpawn(pa, s) || postJoin(pa, s) || locksIntersect(acc.locks, pa.locks) {
+					continue
+				}
+				once(s, acc.key, acc, pa)
+				break
+			}
+		}
+		// Spawner write vs task read (the write-in-parent direction).
+		for _, pa := range parent {
+			if !pa.write || preSpawn(pa, s) || postJoin(pa, s) {
+				continue
+			}
+			for _, acc := range t.accs {
+				if acc.key == pa.key && !acc.write && sharedBeyond(acc, s.span) &&
+					!slotted(acc, s) && !locksIntersect(acc.locks, pa.locks) &&
+					rootsCompatible(acc, pa) {
+					once(s, acc.key, pa, acc)
+					break
+				}
+			}
+		}
+	}
+	return diags
+}
+
+func keyObj(k flowKey) types.Object { return k.obj }
+
+// sharedBeyond reports whether an access can touch state visible outside
+// the task body: the object (or, for fields, the visible base) is declared
+// outside it and is not a synchronization type.
+func sharedBeyond(acc raceAccess, taskBody ast.Node) bool {
+	if acc.key.obj == nil {
+		return false
+	}
+	if safeSharedType(acc.key.obj.Type()) {
+		return false
+	}
+	if acc.key.field {
+		// Field keys are instance-insensitive; use the base object when the
+		// syntax exposes one.
+		if acc.root != nil {
+			return !declaredIn(acc.root, taskBody) && !safeSharedType(acc.root.Type())
+		}
+		return true
+	}
+	return !declaredIn(acc.key.obj, taskBody)
+}
+
+// slotted reports a disjoint-slot element store: the index variable is
+// private to the spawning loop or the task body.
+func slotted(acc raceAccess, s *spawnSite) bool {
+	if acc.idxObj == nil {
+		return false
+	}
+	return declaredIn(acc.idxObj, s.span) || (s.loop != nil && declaredIn(acc.idxObj, s.loop))
+}
+
+func preSpawn(pa raceAccess, s *spawnSite) bool {
+	if pa.pos.Filename != s.pos.Filename || pa.pos.Offset >= s.pos.Offset {
+		return false
+	}
+	// Inside a spawning loop, "textually before" is not happens-before in
+	// general: iteration k+1's access races iteration k's goroutine. The
+	// exception is an object declared inside that same loop — each iteration
+	// binds a fresh instance (the `i, a := i, a` shadowing idiom), so the
+	// access and the spawn it precedes always touch the same iteration's
+	// instance, sequentially.
+	obj := pa.key.obj
+	if pa.key.field {
+		obj = pa.root // conservative: unknown base fails the exception
+	}
+	for _, loop := range s.loops {
+		lp := s.p.Fset.Position(loop.Pos())
+		le := s.p.Fset.Position(loop.End())
+		if pa.pos.Offset < lp.Offset || pa.pos.Offset >= le.Offset {
+			continue
+		}
+		// A slot write indexed by a per-iteration variable (cells[ai] =
+		// make(...)) is equally iteration-private: other iterations' tasks
+		// touch other slots.
+		if !declaredIn(obj, loop) && !declaredIn(pa.idxObj, loop) {
+			return false
+		}
+	}
+	return true
+}
+
+func postJoin(pa raceAccess, s *spawnSite) bool {
+	return s.joined && s.joinPos.IsValid() && s.joinPos.Filename == pa.pos.Filename &&
+		pa.pos.Offset > s.joinPos.Offset
+}
+
+func locksIntersect(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// rootsCompatible rejects field-key matches whose visible base objects are
+// provably different instances.
+func rootsCompatible(a, b raceAccess) bool {
+	if !a.key.field {
+		return true
+	}
+	if a.root == nil || b.root == nil {
+		return true
+	}
+	return a.root == b.root
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's span.
+// token.Pos ranges are disjoint per file, so the comparison never crosses
+// files.
+func declaredIn(obj types.Object, node ast.Node) bool {
+	if obj == nil || node == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// safeSharedType reports types that synchronize by contract: channels,
+// sync primitives, atomics, contexts, and function values (called, not
+// mutated).
+func safeSharedType(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	case *types.Pointer:
+		return safeSharedType(u.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				return true
+			case "context":
+				return obj.Name() == "Context"
+			}
+		}
+	}
+	return false
+}
+
+// collectRaceAccesses scans a region for shared-state touches, annotating
+// each with the set of locks held at its position (linear, position-based:
+// a lock acquired before the access and not released before it counts).
+func collectRaceAccesses(p *Package, body ast.Node, skip map[ast.Node]bool) []raceAccess {
+	events := lockEvents(p, body, skip)
+	heldAt := func(pos token.Position) map[string]bool {
+		held := make(map[string]bool)
+		counts := make(map[string]int)
+		for _, ev := range events {
+			if ev.pos.Offset < pos.Offset {
+				counts[ev.recv] += ev.delta
+			}
+		}
+		for recv, c := range counts {
+			if c > 0 {
+				held[recv] = true
+			}
+		}
+		return held
+	}
+
+	var accs []raceAccess
+	add := func(acc raceAccess) {
+		acc.locks = heldAt(acc.pos)
+		accs = append(accs, acc)
+	}
+	read := func(key flowKey, root types.Object, idx types.Object, pos token.Pos) {
+		add(raceAccess{key: key, root: root, idxObj: idx, pos: p.Fset.Position(pos)})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || skip[n] {
+			return n == nil
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isBlank(lhs) {
+					continue
+				}
+				for _, w := range classifyWrites(p, lhs) {
+					add(w)
+				}
+			}
+		case *ast.IncDecStmt:
+			for _, w := range classifyWrites(p, n.X) {
+				add(w)
+			}
+		case *ast.UnaryExpr:
+			// &x lets the pointee escape. Record a touch (not a write): the
+			// mutation, if any, happens behind a call the pass does not see
+			// (documented approximation), and the &slot-then-lock idiom the
+			// module uses would otherwise self-flag.
+			if n.Op == token.AND {
+				for _, w := range classifyWrites(p, n.X) {
+					w.write = false
+					add(w)
+				}
+			}
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[n].(*types.Var); ok && !v.IsField() {
+				read(objK(v), nil, nil, n.Pos())
+			}
+		case *ast.SelectorExpr:
+			if s := p.Info.Selections[n]; s != nil && s.Kind() == types.FieldVal {
+				if f, ok := s.Obj().(*types.Var); ok {
+					read(fieldK(f), rootObjOf(p, n.X), chainIdxObj(p, n.X), n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return accs
+}
+
+type lockEvent struct {
+	pos   token.Position
+	recv  string
+	delta int
+}
+
+// lockEvents collects Lock/RLock (+1) and Unlock/RUnlock (-1) calls in
+// source order, excluding deferred unlocks (the lock stays held to the end
+// of the region) and skipped subtrees.
+func lockEvents(p *Package, body ast.Node, skip map[ast.Node]bool) []lockEvent {
+	var out []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || skip[n] {
+			return n == nil
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, m := range []string{"Lock", "RLock"} {
+			if recv, ok := lockCall(p, call, m); ok {
+				out = append(out, lockEvent{p.Fset.Position(call.Pos()), recv, 1})
+			}
+		}
+		for _, m := range []string{"Unlock", "RUnlock"} {
+			if recv, ok := lockCall(p, call, m); ok {
+				out = append(out, lockEvent{p.Fset.Position(call.Pos()), recv, -1})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// classifyWrites resolves an lvalue (or escaping operand) to written keys.
+func classifyWrites(p *Package, lhs ast.Expr) []raceAccess {
+	pos := lhs.Pos()
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v := varOf(p, e); v != nil {
+			return []raceAccess{{key: objK(v), write: true, pos: p.Fset.Position(pos)}}
+		}
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+			if f, ok := s.Obj().(*types.Var); ok {
+				return []raceAccess{{key: fieldK(f), root: rootObjOf(p, e.X),
+					idxObj: chainIdxObj(p, e.X), write: true, pos: p.Fset.Position(pos)}}
+			}
+		}
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+			return []raceAccess{{key: objK(v), write: true, pos: p.Fset.Position(pos)}}
+		}
+	case *ast.IndexExpr:
+		ws := classifyWrites(p, e.X)
+		var idxObj types.Object
+		if t := p.Info.TypeOf(e.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+				if id, ok := ast.Unparen(e.Index).(*ast.Ident); ok {
+					if v := varOf(p, id); v != nil {
+						idxObj = v
+					}
+				}
+			}
+		}
+		for i := range ws {
+			ws[i].idxObj = idxObj
+			ws[i].pos = p.Fset.Position(pos)
+		}
+		return ws
+	case *ast.StarExpr:
+		return classifyWrites(p, e.X)
+	}
+	return nil
+}
+
+func varOf(p *Package, id *ast.Ident) *types.Var {
+	if v, ok := p.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// chainIdxObj finds the slot-index variable of a selector/index chain
+// (`rows[i].f`, `cells[ai][ii].x`): the outermost element index that is a
+// plain variable. One per-iteration index is enough for slot disjointness —
+// distinct siblings hold distinct values for it.
+func chainIdxObj(p *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if t := p.Info.TypeOf(x.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array, *types.Pointer:
+					if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok {
+						if v := varOf(p, id); v != nil {
+							return v
+						}
+					}
+				}
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rootObjOf resolves the base object of a selector/index chain, or nil.
+func rootObjOf(p *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package vetting
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInjectedRegressions is the end-to-end gate proof: each canonical
+// concurrency regression, grafted onto a pristine copy of the module, must
+// fail `ispy-vet -strict` with exit 1 and name the pass that caught it. The
+// baseline copy must pass with exit 0, so each failure is attributable to
+// the injected change alone.
+func TestInjectedRegressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the analyzer and vets whole module copies")
+	}
+	modRoot, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "ispy-vet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ispy-vet")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ispy-vet: %v\n%s", err, out)
+	}
+
+	vet := func(t *testing.T, dir string) (int, string) {
+		t.Helper()
+		cmd := exec.Command(bin, "-strict", "./...")
+		cmd.Dir = dir
+		var buf bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &buf, &buf
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running ispy-vet: %v\n%s", err, buf.String())
+		}
+		return code, buf.String()
+	}
+
+	clean := copyModule(t, modRoot)
+	if code, out := vet(t, clean); code != 0 {
+		t.Fatalf("pristine copy not vet-clean (exit %d):\n%s", code, out)
+	}
+
+	expectFail := func(t *testing.T, dir, pass string) {
+		t.Helper()
+		code, out := vet(t, dir)
+		if code != 1 {
+			t.Fatalf("injected %s regression: exit %d, want 1\n%s", pass, code, out)
+		}
+		if !strings.Contains(out, pass+":") {
+			t.Fatalf("injected %s regression not attributed to %s:\n%s", pass, pass, out)
+		}
+	}
+
+	t.Run("gshare", func(t *testing.T) {
+		dir := copyModule(t, modRoot)
+		write(t, filepath.Join(dir, "internal/experiments/zz_regress.go"), `package experiments
+
+import "context"
+
+func zzRegressCounter(p *Pool, items []int) (int, error) {
+	n := 0
+	g := p.Group(context.TODO())
+	for range items {
+		g.Go(func(context.Context) error {
+			n++
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+`)
+		expectFail(t, dir, "gshare")
+	})
+
+	t.Run("goleak", func(t *testing.T) {
+		dir := copyModule(t, modRoot)
+		write(t, filepath.Join(dir, "internal/server/zz_regress.go"), `package server
+
+func zzRegressDetach(work func()) {
+	go func() {
+		work()
+	}()
+}
+`)
+		expectFail(t, dir, "goleak")
+	})
+
+	t.Run("ctxflow", func(t *testing.T) {
+		dir := copyModule(t, modRoot)
+		path := filepath.Join(dir, "internal/server/server.go")
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchor := "lab := experiments.NewLabShared(ctx, lcfg, experiments.Shared{"
+		if !bytes.Contains(src, []byte(anchor)) {
+			t.Fatalf("anchor for ctxflow graft not found in %s", path)
+		}
+		graft := "ctx = context.Background()\n\t\t" + anchor
+		src = bytes.Replace(src, []byte(anchor), []byte(graft), 1)
+		write(t, path, string(src))
+		expectFail(t, dir, "ctxflow")
+	})
+}
+
+// copyModule clones the module source tree (minus .git) into a temp dir.
+func copyModule(t *testing.T, root string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(filepath.Join(dst, rel))
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

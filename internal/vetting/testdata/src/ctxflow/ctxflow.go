@@ -1,0 +1,70 @@
+// Package ctxflow exercises the context-flow pass; Handle is the
+// configured request root.
+package ctxflow
+
+import "context"
+
+type carrier struct{ ctx context.Context }
+
+// Handle is the request entry point.
+func Handle(ctx context.Context, names []string) error {
+	for _, name := range names {
+		if err := pipeline(ctx, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pipeline threads the request ctx down; the violations below are the
+// canonical minted- and dropped-context shapes.
+func pipeline(ctx context.Context, name string) error {
+	if err := fetch(ctx, name); err != nil { // clean: request-derived
+		return err
+	}
+	if err := wrapped(ctx, name); err != nil {
+		return err
+	}
+	if err := viaStruct(ctx, name); err != nil {
+		return err
+	}
+	if err := fetch(context.Background(), name); err != nil { // want `context.Background\(\) in request-reachable`
+		return err
+	}
+	audit(name)
+	stale := freshCtx()
+	return fetch(stale, name) // want `passes a context not derived from the request`
+}
+
+// freshCtx mints a context of its own in reachable code.
+func freshCtx() context.Context {
+	return context.TODO() // want `context.TODO\(\) in request-reachable`
+}
+
+// wrapped is clean: context.With* wrapping preserves derivation.
+func wrapped(ctx context.Context, name string) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return fetch(c, name)
+}
+
+// viaStruct is clean: derivation survives struct-field storage.
+func viaStruct(ctx context.Context, name string) error {
+	c := carrier{ctx: ctx}
+	return fetch(c.ctx, name)
+}
+
+// audit is deliberately cut from the request lifetime; the waiver records
+// that decision.
+func audit(name string) {
+	ctx := context.Background() //ispy:ctx audit writes outlive the request by design in this fixture
+	_ = ctx
+	_ = name
+}
+
+func fetch(ctx context.Context, name string) error {
+	if name == "" {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -9,3 +9,10 @@ type Pool struct{}
 
 // Go mirrors experiments.Pool.Go.
 func (p *Pool) Go(task func(context.Context) error) {}
+
+// Wait mirrors experiments.Group.Wait: joining every submitted task.
+func (p *Pool) Wait() error { return nil }
+
+// IdleTask names a context it ignores; fixture for cross-package task
+// resolution in the concurrency pass.
+func IdleTask(ctx context.Context) error { return nil }

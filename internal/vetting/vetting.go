@@ -8,7 +8,8 @@
 // workload generation → profiling → analysis → simulation → reporting —
 // stays free of Go's classic nondeterminism traps.
 //
-// Five passes run over the type-checked module (DESIGN.md §10):
+// Ten passes run over the type-checked module (DESIGN.md §10). The five
+// local ones:
 //
 //   - determinism: in the deterministic packages, flag `range` over
 //     map-typed values whose body has order-dependent effects (appends
@@ -27,6 +28,14 @@
 //     or channel operations.
 //   - errors: unchecked or blank-assigned error returns in the I/O-handling
 //     packages (traceio, artifacts, faults).
+//
+// Five more run on a shared inter-procedural engine (CHA call graph,
+// per-function SSA-lite IR, module-wide flow propagation): hotpath (the
+// steady-state kernel never allocates and calls only pure code), dtaint
+// (map-iteration order never reaches a stat, artifact, or response),
+// gshare (shared mutable state touched by spawned goroutines carries a
+// protection witness), goleak (every spawn has a provable join path), and
+// ctxflow (request-reachable code only uses request-derived contexts).
 //
 // Waivers are first-class: a `//ispy:<directive> <reason>` comment on the
 // flagged line (or the line above) suppresses one pass at that site and is
@@ -49,8 +58,17 @@ const (
 	PassErrors      = "errors"
 	PassHotPath     = "hotpath"
 	PassDTaint      = "dtaint"
+	PassGShare      = "gshare"
+	PassGoLeak      = "goleak"
+	PassCtxFlow     = "ctxflow"
 	PassWaiver      = "waiver"
 )
+
+// PassNames lists every selectable pass, for -only validation and docs.
+var PassNames = []string{
+	PassDeterminism, PassFreeze, PassStats, PassConcurrency, PassErrors,
+	PassHotPath, PassDTaint, PassGShare, PassGoLeak, PassCtxFlow,
+}
 
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
@@ -108,6 +126,27 @@ type Config struct {
 	// (serialized artifacts, rendered report rows) in addition to the
 	// exported fields of the StatsRules types.
 	SinkPkgs []string
+	// CtxRoots are the request entry points (same spec syntax as
+	// HotPathRoots) from which the ctxflow pass requires every
+	// context-typed argument to derive from the request's context.
+	CtxRoots []string
+	// Only restricts the run to the named passes (empty = all). With a
+	// subset selected, stale-waiver accounting is suppressed — a waiver for
+	// a disabled pass is legitimately unused.
+	Only []string
+}
+
+// enabled reports whether a pass is selected under cfg.Only.
+func (cfg Config) enabled(pass string) bool {
+	if len(cfg.Only) == 0 {
+		return true
+	}
+	for _, p := range cfg.Only {
+		if p == pass {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultConfig returns the repository's rules: the deterministic layers
@@ -173,6 +212,10 @@ func DefaultConfig() Config {
 			"ispy/internal/metrics",
 			"ispy/internal/server",
 		},
+		CtxRoots: []string{
+			"ispy/internal/server.Server.serveAnalyze",
+			"ispy/internal/server.Server.serveProfileAnalyze",
+		},
 	}
 }
 
@@ -188,20 +231,51 @@ type Result struct {
 // Run executes every pass over the loaded packages and returns the sorted
 // findings. Waivers are collected from all packages first so each pass can
 // consult them; unused and malformed waivers become diagnostics themselves.
-// The inter-procedural passes (hotpath, dtaint) share one Analysis — the
-// call graph and IR are built once per run.
+// The inter-procedural passes (hotpath, dtaint, gshare, goleak, ctxflow)
+// share one Analysis — the call graph and IR are built once per run.
 func Run(pkgs []*Package, cfg Config) *Result {
 	ws := collectWaivers(pkgs)
+	ws.reportUnused = len(cfg.Only) == 0
 	var diags []Diagnostic
-	diags = append(diags, checkDeterminism(pkgs, cfg, ws)...)
-	diags = append(diags, checkFreeze(pkgs, cfg, ws)...)
-	diags = append(diags, checkStats(pkgs, cfg)...)
-	diags = append(diags, checkConcurrency(pkgs)...)
-	diags = append(diags, checkErrors(pkgs, cfg, ws)...)
-	if len(cfg.HotPathRoots) > 0 || len(cfg.StatsRules) > 0 || len(cfg.SinkPkgs) > 0 {
+	if cfg.enabled(PassDeterminism) {
+		diags = append(diags, checkDeterminism(pkgs, cfg, ws)...)
+	}
+	if cfg.enabled(PassFreeze) {
+		diags = append(diags, checkFreeze(pkgs, cfg, ws)...)
+	}
+	if cfg.enabled(PassStats) {
+		diags = append(diags, checkStats(pkgs, cfg)...)
+	}
+	if cfg.enabled(PassConcurrency) {
+		diags = append(diags, checkConcurrency(pkgs)...)
+	}
+	if cfg.enabled(PassErrors) {
+		diags = append(diags, checkErrors(pkgs, cfg, ws)...)
+	}
+	needHot := cfg.enabled(PassHotPath) && len(cfg.HotPathRoots) > 0
+	needTaint := cfg.enabled(PassDTaint) && (len(cfg.StatsRules) > 0 || len(cfg.SinkPkgs) > 0)
+	needCtx := cfg.enabled(PassCtxFlow) && len(cfg.CtxRoots) > 0
+	needSpawn := cfg.enabled(PassGShare) || cfg.enabled(PassGoLeak)
+	if needHot || needTaint || needCtx || needSpawn {
 		a := NewAnalysis(pkgs, ws)
-		diags = append(diags, checkHotPath(a, cfg, ws)...)
-		diags = append(diags, checkDTaint(a, cfg, ws)...)
+		if needHot {
+			diags = append(diags, checkHotPath(a, cfg, ws)...)
+		}
+		if needTaint {
+			diags = append(diags, checkDTaint(a, cfg, ws)...)
+		}
+		if needSpawn {
+			sa := buildSpawnAnalysis(a)
+			if cfg.enabled(PassGShare) {
+				diags = append(diags, checkGShare(a, sa, ws)...)
+			}
+			if cfg.enabled(PassGoLeak) {
+				diags = append(diags, checkGoLeak(sa, ws)...)
+			}
+		}
+		if needCtx {
+			diags = append(diags, checkCtxFlow(a, cfg, ws)...)
+		}
 	}
 	diags = append(diags, ws.diags()...)
 	sortDiags(diags)

@@ -21,6 +21,7 @@ var fixtureConfig = Config{
 	HotPathRoots: []string{"fixture/hot.Run", "fixture/hot.Src.NextN"},
 	PureExternal: []string{"math"},
 	SinkPkgs:     []string{"fixture/taintsink"},
+	CtxRoots:     []string{"fixture/ctxflow.Handle"},
 }
 
 var fixturePkgs = []string{
@@ -34,6 +35,9 @@ var fixturePkgs = []string{
 	"fixture/hot",
 	"fixture/taint",
 	"fixture/taintsink",
+	"fixture/gshare",
+	"fixture/goleak",
+	"fixture/ctxflow",
 }
 
 func loadFixtures(t *testing.T) []*Package {
@@ -117,18 +121,19 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestWaiverAccounting pins the waiver ledger for the fixtures: eight
+// TestWaiverAccounting pins the waiver ledger for the fixtures: eleven
 // well-formed waivers (malformed directives are diagnostics, not waivers)
 // — the four PR 4 fixtures plus hot's declaration and site //ispy:alloc
-// pair, taint's //ispy:ordered, and taint's //ispy:dtaint — of which
-// exactly one (the one on a clean line) is unused.
+// pair, taint's //ispy:ordered, taint's //ispy:dtaint, and the //ispy:race,
+// //ispy:detach and //ispy:ctx sites of the concurrency-safety fixtures —
+// of which exactly one (the one on a clean line) is unused.
 func TestWaiverAccounting(t *testing.T) {
 	res := Run(loadFixtures(t), fixtureConfig)
-	if got := len(res.Waivers); got != 8 {
+	if got := len(res.Waivers); got != 11 {
 		for _, w := range res.Waivers {
 			t.Logf("waiver: %s:%d //ispy:%s %s", w.Pos.Filename, w.Pos.Line, w.Directive, w.Reason)
 		}
-		t.Fatalf("got %d waivers, want 8", got)
+		t.Fatalf("got %d waivers, want 11", got)
 	}
 	unused := 0
 	for _, w := range res.Waivers {

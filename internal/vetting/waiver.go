@@ -21,6 +21,9 @@ const (
 	DirectiveErrOK   = "errok"   // errors: dropped error is intentional
 	DirectiveAlloc   = "alloc"   // hotpath: deliberate warmup/setup allocation
 	DirectiveDTaint  = "dtaint"  // dtaint: order-dependence at this sink is benign
+	DirectiveRace    = "race"    // gshare: the flagged sharing is protected by other means
+	DirectiveDetach  = "detach"  // goleak: deliberately detached goroutine
+	DirectiveCtx     = "ctx"     // ctxflow: fresh context at this site is intentional
 )
 
 var directivePass = map[string]string{
@@ -29,6 +32,9 @@ var directivePass = map[string]string{
 	DirectiveErrOK:   PassErrors,
 	DirectiveAlloc:   PassHotPath,
 	DirectiveDTaint:  PassDTaint,
+	DirectiveRace:    PassGShare,
+	DirectiveDetach:  PassGoLeak,
+	DirectiveCtx:     PassCtxFlow,
 }
 
 // Waiver is one parsed //ispy: directive.
@@ -45,6 +51,9 @@ type waiverSet struct {
 	all        []*Waiver
 	bad        []Diagnostic
 	suppressed []Diagnostic // findings a waiver silenced (for -json waived:true)
+	// reportUnused gates stale-waiver advisories; a partial run (-only)
+	// leaves waivers for the disabled passes legitimately unused.
+	reportUnused bool
 }
 
 func collectWaivers(pkgs []*Package) *waiverSet {
@@ -78,7 +87,7 @@ func (ws *waiverSet) add(pos token.Position, text string) {
 	pass, known := directivePass[fields[0]]
 	if !known {
 		ws.bad = append(ws.bad, Diagnostic{Pos: pos, Pass: PassWaiver,
-			Message: fmt.Sprintf("unknown directive //ispy:%s (known: ordered, xref, errok, alloc, dtaint)", fields[0])})
+			Message: fmt.Sprintf("unknown directive //ispy:%s (known: ordered, xref, errok, alloc, dtaint, race, detach, ctx)", fields[0])})
 		return
 	}
 	if len(fields) == 1 {
@@ -141,10 +150,12 @@ func (ws *waiverSet) waive(d Diagnostic) bool {
 // diags returns malformed-directive and stale-waiver findings.
 func (ws *waiverSet) diags() []Diagnostic {
 	out := append([]Diagnostic(nil), ws.bad...)
-	for _, w := range ws.all {
-		if !w.Used {
-			out = append(out, Diagnostic{Pos: w.Pos, Pass: PassWaiver, Advisory: true,
-				Message: fmt.Sprintf("unused //ispy:%s waiver: nothing to waive on this line", w.Directive)})
+	if ws.reportUnused {
+		for _, w := range ws.all {
+			if !w.Used {
+				out = append(out, Diagnostic{Pos: w.Pos, Pass: PassWaiver, Advisory: true,
+					Message: fmt.Sprintf("unused //ispy:%s waiver: nothing to waive on this line", w.Directive)})
+			}
 		}
 	}
 	sort.Slice(ws.all, func(i, j int) bool {
