@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet ispyvet vet-waivers build test race fuzz faultsmoke chaossmoke scenariosmoke benchsmoke benchall bench
+.PHONY: check fmtcheck vet ispyvet vetsmoke vet-waivers build test race fuzz faultsmoke chaossmoke scenariosmoke benchsmoke benchall bench
 
 # The full gate: what CI (and every PR) must pass.
-check: fmtcheck vet ispyvet build race fuzz faultsmoke chaossmoke scenariosmoke benchsmoke
+check: fmtcheck vet ispyvet vetsmoke build race fuzz faultsmoke chaossmoke scenariosmoke benchsmoke
 
 # gofmt enforcement: fails listing any file that needs formatting.
 fmtcheck:
@@ -22,6 +22,13 @@ ispyvet:
 	@$(GO) run ./cmd/ispy-vet -json ./... > /dev/null 2>&1 || \
 		{ echo "ispyvet: -json smoke failed"; exit 1; }
 	@echo "ispyvet: -json smoke ok"
+
+# End-to-end proof that the cache-soundness gate bites: graft the two
+# canonical regressions (a Config field the kernel reads but the key never
+# folds; a time.Now() folded into an analyze response) onto pristine module
+# copies and require `ispy-vet -strict` to fail each with the right pass.
+vetsmoke:
+	$(GO) test -run 'TestInjectedRegressions/(keysound|purity)' ./internal/vetting
 
 # List every //ispy: waiver in effect, for periodic review.
 vet-waivers:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ispy-vet [-waivers] [-json] [-strict] [-only pass,...] [./...]
+//	ispy-vet [-waivers] [-json] [-strict] [-v] [-only pass,...] [./...]
 //
 // The package pattern is accepted for familiarity but the analyzer always
 // vets the whole module containing the working directory — the passes are
@@ -19,15 +19,23 @@
 // -json emits one JSON object per line — {"file","line","pass","message",
 // "waived"} — covering both live findings (waived:false) and findings a
 // waiver suppressed (waived:true), for tooling that audits the waiver
-// ledger alongside the failures. Paths are module-relative.
+// ledger alongside the failures. Paths are module-relative. After the
+// findings, the keysound field-coverage table follows as one
+// {"table":"keysound","struct","field","compute_read","folded","waived"}
+// object per audited field — a distinct shape, so per-pass finding counts
+// keyed on "pass" stay accurate.
 //
 // -strict promotes advisory findings (stale waivers) to gate failures.
 // The gate runs strict; plain invocations report them as warnings.
 //
+// -v prints per-pass wall times to stderr after the run.
+//
 // -only restricts vetting to a comma-separated subset of passes (see
 // vetting.PassNames), for iterating on one class of finding. Unknown names
-// are a usage error. Unused-waiver accounting is suppressed under -only —
-// a waiver for a disabled pass is not stale — so it composes with -strict.
+// are a usage error. Stale-waiver accounting narrows with the subset: a
+// waiver for a de-selected pass is not stale, but an unused waiver of a
+// pass that did run is still reported — so -only composes with -strict
+// instead of weakening it.
 //
 // Under GitHub Actions (GITHUB_ACTIONS=true) findings are additionally
 // emitted as ::error/::warning workflow annotations so they appear inline
@@ -43,6 +51,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ispy/internal/vetting"
 )
@@ -51,9 +60,10 @@ func main() {
 	listWaivers := flag.Bool("waivers", false, "list waivered sites instead of vetting")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per finding (live and waived)")
 	strict := flag.Bool("strict", false, "treat advisory findings (stale waivers) as failures")
+	verbose := flag.Bool("v", false, "print per-pass wall times to stderr")
 	only := flag.String("only", "", "comma-separated pass subset to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ispy-vet [-waivers] [-json] [-strict] [-only pass,...] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ispy-vet [-waivers] [-json] [-strict] [-v] [-only pass,...] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -136,6 +146,16 @@ func main() {
 		for _, d := range res.Suppressed {
 			emit(d, true)
 		}
+		for _, c := range res.Coverage {
+			enc.Encode(jsonCoverage{
+				Table:       "keysound",
+				Struct:      c.Struct,
+				Field:       c.Field,
+				ComputeRead: c.ComputeRead,
+				Folded:      c.Folded,
+				Waived:      c.Waived,
+			})
+		}
 	} else {
 		for _, d := range res.Diags {
 			d.Pos.Filename = relTo(modRoot, d.Pos.Filename)
@@ -159,6 +179,11 @@ func main() {
 		}
 	}
 
+	if *verbose {
+		for _, t := range res.Timings {
+			fmt.Fprintf(os.Stderr, "ispy-vet: pass %-12s %v\n", t.Pass, t.Elapsed.Round(time.Microsecond))
+		}
+	}
 	fmt.Fprintf(os.Stderr, "ispy-vet: %d issue(s), %d advisory, %d waiver(s) in effect\n",
 		hard, advisory, len(res.Waivers))
 	if hard > 0 {
@@ -173,6 +198,18 @@ type jsonDiag struct {
 	Pass    string `json:"pass"`
 	Message string `json:"message"`
 	Waived  bool   `json:"waived"`
+}
+
+// jsonCoverage is one keysound field-coverage row under -json. It carries a
+// "table" discriminator and no "pass" key, so tools counting findings per
+// pass never mistake coverage rows for diagnostics.
+type jsonCoverage struct {
+	Table       string `json:"table"`
+	Struct      string `json:"struct"`
+	Field       string `json:"field"`
+	ComputeRead bool   `json:"compute_read"`
+	Folded      bool   `json:"folded"`
+	Waived      bool   `json:"waived"`
 }
 
 // relTo renders a path relative to the module root where possible; the

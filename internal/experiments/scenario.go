@@ -150,7 +150,10 @@ func (l *Lab) scenario(k *artifacts.Key, compute func() scenarioRun) scenarioRun
 
 // Render formats the scenario report: per-tenant rows, per-SLO-class
 // aggregates, and the headline speedup. Output is a pure function of the
-// result — the golden determinism tests compare it byte for byte.
+// result — the golden determinism tests compare it byte for byte, and the
+// ispy-vet purity pass proves it statically: this method is a configured
+// renderer sink, so a wall-clock read or operational counter flowing into
+// the returned string fails the gate.
 func (r *ScenarioResult) Render() string {
 	var b strings.Builder
 	s := r.Spec

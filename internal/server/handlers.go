@@ -216,6 +216,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// handleStatusz publishes operational state. It is the one sink the
+// ispy-vet purity pass sanctions (DESIGN.md §10, pass 12): breaker state,
+// request counters, and drain status may reach this body and no other —
+// every analysis response must stay a pure function of the request.
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	st := Status{
 		Requests: s.reqs.Snapshot(),

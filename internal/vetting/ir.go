@@ -32,9 +32,10 @@ import (
 // flowKey identifies one abstract value in the module-wide flow graph.
 // Exactly one field is set.
 type flowKey struct {
-	obj   types.Object // variable, parameter, named result, global, field
-	fn    *types.Func  // with idx: result idx of a declared function
-	lit   *ast.FuncLit // with idx: result idx of a closure
+	obj   types.Object  // variable, parameter, named result, global, field
+	fn    *types.Func   // with idx: result idx of a declared function
+	lit   *ast.FuncLit  // with idx: result idx of a closure
+	ext   *ast.CallExpr // result of an external/unresolved call, per site
 	idx   int
 	field bool // obj is a struct field (field-global key)
 }
@@ -46,6 +47,14 @@ func retK(fn *types.Func, i int) flowKey {
 }
 func litRetK(l *ast.FuncLit, i int) flowKey { return flowKey{lit: l, idx: i} }
 
+// extRetK keys the result of one external (or unresolved) call site. The
+// arguments' keys still flow through such calls (context.WithTimeout wraps
+// its parent), but the site itself is also a value origin — time.Now() has
+// no arguments, yet its result is a fresh wall-clock reading. The purity
+// pass sources these keys; nothing else does, so adding them never creates
+// a new path between existing keys.
+func extRetK(call *ast.CallExpr) flowKey { return flowKey{ext: call} }
+
 func (k flowKey) String() string {
 	switch {
 	case k.obj != nil && k.field:
@@ -56,6 +65,8 @@ func (k flowKey) String() string {
 		return fmt.Sprintf("%s#ret%d", k.fn.Name(), k.idx)
 	case k.lit != nil:
 		return fmt.Sprintf("closure#ret%d", k.idx)
+	case k.ext != nil:
+		return "extcall#ret"
 	}
 	return "<nil>"
 }
@@ -530,13 +541,15 @@ func (lw *lowering) isPanicCall(n *ast.CallExpr) bool {
 func (lw *lowering) callResultKeys(call *ast.CallExpr, i int) []flowKey {
 	site := lw.g.SiteOf(call)
 	if site == nil || len(site.Targets) == 0 {
-		// Unresolved/external: results derive from the arguments.
-		return lw.argKeys(call)
+		// Unresolved/external: results derive from the arguments, plus the
+		// site itself as a fresh value origin (extRetK).
+		return append(lw.argKeys(call), extRetK(call))
 	}
 	var out []flowKey
 	for _, to := range site.Targets {
 		if to.External() {
 			out = append(out, lw.argKeys(call)...)
+			out = append(out, extRetK(call))
 			continue
 		}
 		if to.Lit != nil {

@@ -115,6 +115,49 @@ func zzRegressDetach(work func()) {
 		write(t, path, string(src))
 		expectFail(t, dir, "ctxflow")
 	})
+
+	// A new Config field the kernel consults but the key never folds: the
+	// canonical stale-cache regression. The read must be condition-only —
+	// feeding another config field would count as a derived fold (the pass
+	// is order-blind; see keysound.go).
+	t.Run("keysound", func(t *testing.T) {
+		dir := copyModule(t, modRoot)
+		path := filepath.Join(dir, "internal/sim/sim.go")
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fieldAnchor := "\tHWPrefetchMask *LineMask\n}"
+		readAnchor := "\tif cfg.WarmupInstrs > 0 {"
+		if !bytes.Contains(src, []byte(fieldAnchor)) || !bytes.Contains(src, []byte(readAnchor)) {
+			t.Fatalf("anchors for keysound graft not found in %s", path)
+		}
+		src = bytes.Replace(src, []byte(fieldAnchor),
+			[]byte("\tHWPrefetchMask *LineMask\n\t// ZZRegressKnob is consulted by the kernel but never folded.\n\tZZRegressKnob uint64\n}"), 1)
+		src = bytes.Replace(src, []byte(readAnchor),
+			[]byte("\tif cfg.ZZRegressKnob > cfg.MaxInstrs {\n\t\tcfg.WarmupInstrs = 0\n\t}\n"+readAnchor), 1)
+		write(t, path, string(src))
+		expectFail(t, dir, "keysound")
+	})
+
+	// A wall-clock reading folded into an analyze response body: the
+	// canonical impure-response regression.
+	t.Run("purity", func(t *testing.T) {
+		dir := copyModule(t, modRoot)
+		path := filepath.Join(dir, "internal/server/handlers.go")
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchor := "resp := &AnalyzeResponse{App: app, Instrs: instrs,"
+		if !bytes.Contains(src, []byte(anchor)) {
+			t.Fatalf("anchor for purity graft not found in %s", path)
+		}
+		graft := "resp := &AnalyzeResponse{App: app, Instrs: uint64(time.Now().UnixNano()),"
+		src = bytes.Replace(src, []byte(anchor), []byte(graft), 1)
+		write(t, path, string(src))
+		expectFail(t, dir, "purity")
+	})
 }
 
 // copyModule clones the module source tree (minus .git) into a temp dir.

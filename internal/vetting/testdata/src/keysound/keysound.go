@@ -1,0 +1,79 @@
+// Package keysound exercises the cache-key soundness pass: a key-covered
+// configuration struct whose fields cover the direct-fold, fold-through-
+// helper, fold-of-derived-value, stale-cache, dead-fold, and waived cases.
+// The clean cases are verified by the absence of findings; the violations
+// carry `// want` expectations on the field declarations the pass anchors
+// at.
+package keysound
+
+// Conf is the key-covered configuration (fixtureConfig.KeyRules).
+type Conf struct {
+	Width int // folded directly, read directly: clean
+	Skew  int // never folded itself; setup derives slot weights from it and Fold reads those: clean
+	Depth int // read directly, folded through the foldDepth helper: clean
+	// Budget steers the compute but never reaches the key: stale cache.
+	Budget int // want `field Conf.Budget is read on the compute path`
+	// Legacy is folded but nothing computes from it: dead key fold.
+	Legacy int // want `field Conf.Legacy is folded into key material`
+	// Retired is a dead fold kept for key compatibility, waived.
+	Retired int //ispy:keyfold retired knob kept folded so existing cache keys stay valid
+
+	slots []slot
+}
+
+// slot holds one derived weight (the traffic.Tenant shape).
+type slot struct{ Weight int }
+
+// setup derives the slot weights from Skew. It is reachable from Run (the
+// compute root) but not from Fold, so Skew's key coverage exists only
+// through the derived Weight values.
+func (c *Conf) setup() {
+	c.slots = make([]slot, 4)
+	for i := range c.slots {
+		c.slots[i].Weight = c.Skew * (i + 1)
+	}
+}
+
+// Key accumulates key material (the artifacts.Key shape).
+type Key struct{ sum uint64 }
+
+// Uint folds one value.
+func (k *Key) Uint(v uint64) *Key {
+	k.sum = k.sum*31 + v
+	return k
+}
+
+// Fold folds a Conf into key material (fixtureConfig.KeyFoldRoots). It
+// reads Width directly, Depth through a helper, the dead Legacy and
+// Retired folds, and the Weights derived from Skew — never Skew itself,
+// and never Budget.
+func (k *Key) Fold(c *Conf) *Key {
+	k.Uint(uint64(c.Width))
+	foldDepth(k, c)
+	k.Uint(uint64(c.Legacy))
+	k.Uint(uint64(c.Retired))
+	for _, s := range c.slots {
+		k.Uint(uint64(s.Weight))
+	}
+	return k
+}
+
+// foldDepth is the fold helper: the read happens one call below the root.
+func foldDepth(k *Key, c *Conf) {
+	k.Uint(uint64(c.Depth))
+}
+
+// Run is the cached compute (fixtureConfig.ComputeRoots): it consumes
+// Width, Depth, Budget, and — through setup — Skew, but not Legacy or
+// Retired.
+func Run(c *Conf) int {
+	c.setup()
+	total := c.Width * c.Depth
+	if c.Budget > 0 {
+		total++
+	}
+	for _, s := range c.slots {
+		total += s.Weight
+	}
+	return total
+}

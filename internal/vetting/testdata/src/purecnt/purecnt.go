@@ -1,0 +1,16 @@
+// Package purecnt holds the purity fixture's operational state. It lives
+// in its own package because the purity pass treats a package declaring an
+// ImpureType as the impurity boundary: per-site impure calls inside it are
+// subsumed by the type's field and method-result sources.
+package purecnt
+
+// Counters is operational state (fixtureConfig.ImpureTypes): its fields
+// and method results are impurity sources.
+type Counters struct {
+	Hits uint64
+}
+
+// Snapshot reads the counters.
+func (c *Counters) Snapshot() uint64 {
+	return c.Hits
+}

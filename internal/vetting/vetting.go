@@ -8,7 +8,7 @@
 // workload generation → profiling → analysis → simulation → reporting —
 // stays free of Go's classic nondeterminism traps.
 //
-// Ten passes run over the type-checked module (DESIGN.md §10). The five
+// Twelve passes run over the type-checked module (DESIGN.md §10). The five
 // local ones:
 //
 //   - determinism: in the deterministic packages, flag `range` over
@@ -29,13 +29,22 @@
 //   - errors: unchecked or blank-assigned error returns in the I/O-handling
 //     packages (traceio, artifacts, faults).
 //
-// Five more run on a shared inter-procedural engine (CHA call graph,
+// Seven more run on a shared inter-procedural engine (CHA call graph,
 // per-function SSA-lite IR, module-wide flow propagation): hotpath (the
 // steady-state kernel never allocates and calls only pure code), dtaint
 // (map-iteration order never reaches a stat, artifact, or response),
 // gshare (shared mutable state touched by spawned goroutines carries a
-// protection witness), goleak (every spawn has a provable join path), and
-// ctxflow (request-reachable code only uses request-derived contexts).
+// protection witness), goleak (every spawn has a provable join path),
+// ctxflow (request-reachable code only uses request-derived contexts),
+// keysound (every config field the cached compute reads is folded into
+// artifacts.Key material, and vice versa), and purity (operational state —
+// clocks, attempt counters, breaker and telemetry reads — never reaches a
+// response body or rendered report outside the sanctioned /statusz sink).
+//
+// The passes fan out concurrently over a bounded worker group once the
+// module is loaded; everything they share is immutable by then, and
+// findings are re-assembled in canonical order, so output is identical to
+// a serial run.
 //
 // Waivers are first-class: a `//ispy:<directive> <reason>` comment on the
 // flagged line (or the line above) suppresses one pass at that site and is
@@ -46,7 +55,10 @@ package vetting
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 )
 
 // Pass names, as printed in diagnostics (file:line: pass: message).
@@ -61,6 +73,8 @@ const (
 	PassGShare      = "gshare"
 	PassGoLeak      = "goleak"
 	PassCtxFlow     = "ctxflow"
+	PassKeySound    = "keysound"
+	PassPurity      = "purity"
 	PassWaiver      = "waiver"
 )
 
@@ -68,6 +82,7 @@ const (
 var PassNames = []string{
 	PassDeterminism, PassFreeze, PassStats, PassConcurrency, PassErrors,
 	PassHotPath, PassDTaint, PassGShare, PassGoLeak, PassCtxFlow,
+	PassKeySound, PassPurity,
 }
 
 // Diagnostic is one analyzer finding.
@@ -104,6 +119,14 @@ type StatsRule struct {
 	Type    string
 }
 
+// KeyRule names one key-covered configuration struct: the keysound pass
+// requires every field to be folded into artifacts.Key material exactly
+// when the compute path reads it.
+type KeyRule struct {
+	PkgPath string
+	Type    string
+}
+
 // Config selects what the passes enforce. The zero value runs only the
 // module-wide passes (concurrency) and whatever rules are listed.
 type Config struct {
@@ -130,9 +153,40 @@ type Config struct {
 	// HotPathRoots) from which the ctxflow pass requires every
 	// context-typed argument to derive from the request's context.
 	CtxRoots []string
-	// Only restricts the run to the named passes (empty = all). With a
-	// subset selected, stale-waiver accounting is suppressed — a waiver for
-	// a disabled pass is legitimately unused.
+	// KeyRules are the key-covered configuration structs the keysound pass
+	// audits field by field.
+	KeyRules []KeyRule
+	// KeyFoldRoots are the functions whose bodies (and callees) constitute
+	// the key-fold region — the artifacts.Key fold methods and Material
+	// renderers (same spec syntax as HotPathRoots).
+	KeyFoldRoots []string
+	// ComputeRoots are the entry points of the cached compute the key must
+	// cover (simulation kernels, analysis, traffic composition).
+	ComputeRoots []string
+	// ImpureCalls are external functions whose results are impure for the
+	// purity pass — wall clock, host identity ("pkgpath.Func").
+	ImpureCalls []string
+	// ImpureTypes are module types holding operational state
+	// ("pkgpath.Type"): their fields and method results are impurity
+	// sources.
+	ImpureTypes []string
+	// ImpureCallbackFns are module functions that report operational values
+	// (attempt counters, backoff delays) to caller-supplied observers:
+	// every argument they pass through a function-valued call is a source.
+	ImpureCallbackFns []string
+	// PuritySinkTypes are response types whose exported fields must stay
+	// pure functions of the request.
+	PuritySinkTypes []KeyRule
+	// PurityRenderers are functions whose results must stay pure (report
+	// renderers compared byte-for-byte by the golden tests).
+	PurityRenderers []string
+	// PuritySanctioned are functions allowed to publish operational state
+	// (the /statusz handler); impurity arriving at a sink inside their
+	// bodies is not a finding.
+	PuritySanctioned []string
+	// Only restricts the run to the named passes (empty = all). Stale-waiver
+	// accounting narrows with it: only waivers belonging to the selected
+	// passes are reported when unused, so -only composes with -strict.
 	Only []string
 }
 
@@ -216,7 +270,62 @@ func DefaultConfig() Config {
 			"ispy/internal/server.Server.serveAnalyze",
 			"ispy/internal/server.Server.serveProfileAnalyze",
 		},
+		KeyRules: []KeyRule{
+			{PkgPath: "ispy/internal/sim", Type: "Config"},
+			{PkgPath: "ispy/internal/workload", Type: "Params"},
+			{PkgPath: "ispy/internal/core", Type: "Options"},
+			{PkgPath: "ispy/internal/traffic", Type: "Spec"},
+		},
+		KeyFoldRoots: []string{
+			"ispy/internal/artifacts.Key.Params",
+			"ispy/internal/artifacts.Key.SimConfig",
+			"ispy/internal/artifacts.Key.Options",
+			"ispy/internal/artifacts.Key.Input",
+			"ispy/internal/traffic.Spec.Material",
+		},
+		ComputeRoots: []string{
+			"ispy/internal/sim.Run",
+			"ispy/internal/sim.RunSharded",
+			"ispy/internal/sim.BatchSource.NextN",
+			"ispy/internal/core.BuildISPY",
+			"ispy/internal/traffic.Compose",
+			"ispy/internal/traffic.BuildWorld",
+		},
+		ImpureCalls: []string{
+			"time.Now", "time.Since", "time.Until",
+			"os.Getpid", "os.Hostname", "os.Getenv",
+			"runtime.NumGoroutine", "runtime.NumCPU",
+		},
+		ImpureTypes: []string{
+			"ispy/internal/resilience.Breaker",
+			"ispy/internal/metrics.Requests",
+			"ispy/internal/metrics.Telemetry",
+		},
+		ImpureCallbackFns: []string{
+			"ispy/internal/resilience.Retry",
+		},
+		PuritySinkTypes: []KeyRule{
+			{PkgPath: "ispy/internal/server", Type: "AnalyzeResponse"},
+			{PkgPath: "ispy/internal/server", Type: "StatsSummary"},
+			{PkgPath: "ispy/internal/server", Type: "PlanSummary"},
+			{PkgPath: "ispy/internal/server", Type: "TenantSummary"},
+			// Status is the /statusz body: it exists to publish operational
+			// state, so it is a sink type whose one writer is sanctioned.
+			{PkgPath: "ispy/internal/server", Type: "Status"},
+		},
+		PurityRenderers: []string{
+			"ispy/internal/experiments.ScenarioResult.Render",
+		},
+		PuritySanctioned: []string{
+			"ispy/internal/server.Server.handleStatusz",
+		},
 	}
+}
+
+// PassTiming is one pass's wall time, printed under -v.
+type PassTiming struct {
+	Pass    string
+	Elapsed time.Duration
 }
 
 // Result is one analyzer run's findings plus the waivers in effect.
@@ -226,61 +335,123 @@ type Result struct {
 	// waived:true so the annotation burden stays visible).
 	Suppressed []Diagnostic
 	Waivers    []*Waiver
+	// Coverage is the keysound per-field verdict table (emitted under
+	// -json so CI can publish which key fields are proven covered).
+	Coverage []KeyFieldCoverage
+	// Timings are per-pass wall times in canonical pass order.
+	Timings []PassTiming
+}
+
+// passResult is one pass's output slot. Each worker goroutine writes only
+// its own slot (disjoint-slot fan-out), so the slice needs no lock; the
+// WaitGroup join publishes every slot to the collector.
+type passResult struct {
+	diags   []Diagnostic
+	cov     []KeyFieldCoverage
+	elapsed time.Duration
 }
 
 // Run executes every pass over the loaded packages and returns the sorted
 // findings. Waivers are collected from all packages first so each pass can
-// consult them; unused and malformed waivers become diagnostics themselves.
-// The inter-procedural passes (hotpath, dtaint, gshare, goleak, ctxflow)
-// share one Analysis — the call graph and IR are built once per run.
+// consult them; unused and malformed waivers become diagnostics themselves
+// (narrowed to the enabled passes under -only). The inter-procedural passes
+// (hotpath, dtaint, gshare, goleak, ctxflow, keysound, purity) share one
+// Analysis — the call graph and IR are built once, single-threaded, before
+// the passes fan out over a bounded worker group. The fan-out is read-only:
+// the loaded module, call graph, and IR are immutable by then, and the
+// waiver set locks its use-marking internally. Findings are concatenated in
+// canonical pass order and then position-sorted, so concurrency never
+// changes the output.
 func Run(pkgs []*Package, cfg Config) *Result {
 	ws := collectWaivers(pkgs)
-	ws.reportUnused = len(cfg.Only) == 0
-	var diags []Diagnostic
-	if cfg.enabled(PassDeterminism) {
-		diags = append(diags, checkDeterminism(pkgs, cfg, ws)...)
-	}
-	if cfg.enabled(PassFreeze) {
-		diags = append(diags, checkFreeze(pkgs, cfg, ws)...)
-	}
-	if cfg.enabled(PassStats) {
-		diags = append(diags, checkStats(pkgs, cfg)...)
-	}
-	if cfg.enabled(PassConcurrency) {
-		diags = append(diags, checkConcurrency(pkgs)...)
-	}
-	if cfg.enabled(PassErrors) {
-		diags = append(diags, checkErrors(pkgs, cfg, ws)...)
-	}
+	ws.reportFor = cfg.enabled
+
 	needHot := cfg.enabled(PassHotPath) && len(cfg.HotPathRoots) > 0
 	needTaint := cfg.enabled(PassDTaint) && (len(cfg.StatsRules) > 0 || len(cfg.SinkPkgs) > 0)
 	needCtx := cfg.enabled(PassCtxFlow) && len(cfg.CtxRoots) > 0
 	needSpawn := cfg.enabled(PassGShare) || cfg.enabled(PassGoLeak)
-	if needHot || needTaint || needCtx || needSpawn {
-		a := NewAnalysis(pkgs, ws)
-		if needHot {
-			diags = append(diags, checkHotPath(a, cfg, ws)...)
-		}
-		if needTaint {
-			diags = append(diags, checkDTaint(a, cfg, ws)...)
-		}
+	needKey := cfg.enabled(PassKeySound) && len(cfg.KeyRules) > 0 &&
+		len(cfg.KeyFoldRoots) > 0 && len(cfg.ComputeRoots) > 0
+	needPure := cfg.enabled(PassPurity) &&
+		(len(cfg.PuritySinkTypes) > 0 || len(cfg.PurityRenderers) > 0)
+
+	var a *Analysis
+	var sa *spawnAnalysis
+	if needHot || needTaint || needCtx || needSpawn || needKey || needPure {
+		a = NewAnalysis(pkgs, ws)
 		if needSpawn {
-			sa := buildSpawnAnalysis(a)
-			if cfg.enabled(PassGShare) {
-				diags = append(diags, checkGShare(a, sa, ws)...)
-			}
-			if cfg.enabled(PassGoLeak) {
-				diags = append(diags, checkGoLeak(sa, ws)...)
-			}
+			sa = buildSpawnAnalysis(a)
 		}
-		if needCtx {
-			diags = append(diags, checkCtxFlow(a, cfg, ws)...)
+	}
+
+	type passRun struct {
+		name string
+		fn   func(slot *passResult)
+	}
+	var runs []passRun
+	add := func(name string, cond bool, fn func(slot *passResult)) {
+		if cond && cfg.enabled(name) {
+			runs = append(runs, passRun{name, fn})
 		}
+	}
+	diagsOnly := func(fn func() []Diagnostic) func(*passResult) {
+		return func(slot *passResult) { slot.diags = fn() }
+	}
+	add(PassDeterminism, true, diagsOnly(func() []Diagnostic { return checkDeterminism(pkgs, cfg, ws) }))
+	add(PassFreeze, true, diagsOnly(func() []Diagnostic { return checkFreeze(pkgs, cfg, ws) }))
+	add(PassStats, true, diagsOnly(func() []Diagnostic { return checkStats(pkgs, cfg) }))
+	add(PassConcurrency, true, diagsOnly(func() []Diagnostic { return checkConcurrency(pkgs) }))
+	add(PassErrors, true, diagsOnly(func() []Diagnostic { return checkErrors(pkgs, cfg, ws) }))
+	add(PassHotPath, needHot, diagsOnly(func() []Diagnostic { return checkHotPath(a, cfg, ws) }))
+	add(PassDTaint, needTaint, diagsOnly(func() []Diagnostic { return checkDTaint(a, cfg, ws) }))
+	add(PassGShare, needSpawn, diagsOnly(func() []Diagnostic { return checkGShare(a, sa, ws) }))
+	add(PassGoLeak, needSpawn, diagsOnly(func() []Diagnostic { return checkGoLeak(sa, ws) }))
+	add(PassCtxFlow, needCtx, diagsOnly(func() []Diagnostic { return checkCtxFlow(a, cfg, ws) }))
+	add(PassKeySound, needKey, func(slot *passResult) {
+		slot.diags, slot.cov = checkKeySound(a, cfg, ws)
+	})
+	add(PassPurity, needPure, diagsOnly(func() []Diagnostic { return checkPurity(a, cfg, ws) }))
+
+	// Bounded fan-out into per-pass slots. Workers only read the shared
+	// analysis; ordering is restored below, so scheduling cannot leak into
+	// the findings.
+	results := make([]passResult, len(runs))
+	workers := runtime.NumCPU()
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, r := range runs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(slot *passResult, r passRun) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			r.fn(slot)
+			slot.elapsed = time.Since(start)
+		}(&results[i], r)
+	}
+	wg.Wait()
+
+	res := &Result{}
+	var diags []Diagnostic
+	for i, r := range runs {
+		diags = append(diags, results[i].diags...)
+		res.Coverage = append(res.Coverage, results[i].cov...)
+		res.Timings = append(res.Timings, PassTiming{Pass: r.name, Elapsed: results[i].elapsed})
 	}
 	diags = append(diags, ws.diags()...)
 	sortDiags(diags)
 	sortDiags(ws.suppressed)
-	return &Result{Diags: diags, Suppressed: ws.suppressed, Waivers: ws.all}
+	res.Diags = diags
+	res.Suppressed = ws.suppressed
+	res.Waivers = ws.all
+	return res
 }
 
 // sortDiags orders findings by position then pass then message, so output

@@ -12,6 +12,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Directives, by pass they waive.
@@ -24,6 +25,8 @@ const (
 	DirectiveRace    = "race"    // gshare: the flagged sharing is protected by other means
 	DirectiveDetach  = "detach"  // goleak: deliberately detached goroutine
 	DirectiveCtx     = "ctx"     // ctxflow: fresh context at this site is intentional
+	DirectiveKeyFold = "keyfold" // keysound: the field's key/compute asymmetry is intentional
+	DirectivePure    = "pure"    // purity: operational state at this sink is sanctioned
 )
 
 var directivePass = map[string]string{
@@ -35,6 +38,8 @@ var directivePass = map[string]string{
 	DirectiveRace:    PassGShare,
 	DirectiveDetach:  PassGoLeak,
 	DirectiveCtx:     PassCtxFlow,
+	DirectiveKeyFold: PassKeySound,
+	DirectivePure:    PassPurity,
 }
 
 // Waiver is one parsed //ispy: directive.
@@ -51,9 +56,16 @@ type waiverSet struct {
 	all        []*Waiver
 	bad        []Diagnostic
 	suppressed []Diagnostic // findings a waiver silenced (for -json waived:true)
-	// reportUnused gates stale-waiver advisories; a partial run (-only)
-	// leaves waivers for the disabled passes legitimately unused.
-	reportUnused bool
+	// mu guards Used marking and the suppressed list: the passes consult
+	// the set concurrently. Collection itself is single-threaded, so the
+	// byLine index is immutable by the time any pass runs.
+	mu sync.Mutex
+	// reportFor gates stale-waiver advisories per pass. A partial run
+	// (-only) leaves waivers of the de-selected passes legitimately
+	// unused, but an unused waiver of a pass that did run is still stale
+	// — so -only narrows the accounting instead of suspending it. Nil
+	// means report all.
+	reportFor func(pass string) bool
 }
 
 func collectWaivers(pkgs []*Package) *waiverSet {
@@ -87,7 +99,7 @@ func (ws *waiverSet) add(pos token.Position, text string) {
 	pass, known := directivePass[fields[0]]
 	if !known {
 		ws.bad = append(ws.bad, Diagnostic{Pos: pos, Pass: PassWaiver,
-			Message: fmt.Sprintf("unknown directive //ispy:%s (known: ordered, xref, errok, alloc, dtaint, race, detach, ctx)", fields[0])})
+			Message: fmt.Sprintf("unknown directive //ispy:%s (known: ordered, xref, errok, alloc, dtaint, race, detach, ctx, keyfold, pure)", fields[0])})
 		return
 	}
 	if len(fields) == 1 {
@@ -110,15 +122,26 @@ func (ws *waiverSet) add(pos token.Position, text string) {
 	ws.all = append(ws.all, w)
 }
 
-// waived reports (and records use of) a waiver for pass at pos: on the same
-// line, or on the line directly above.
-func (ws *waiverSet) waived(pass string, pos token.Position) bool {
+// lookup finds a waiver for pass at pos — on the same line, or on the line
+// directly above — without locking; callers hold ws.mu.
+func (ws *waiverSet) lookup(pass string, pos token.Position) *Waiver {
 	lines := ws.byLine[pos.Filename]
 	for _, ln := range []int{pos.Line, pos.Line - 1} {
 		if w := lines[ln]; w != nil && w.Pass == pass {
-			w.Used = true
-			return true
+			return w
 		}
+	}
+	return nil
+}
+
+// waived reports (and records use of) a waiver for pass at pos: on the same
+// line, or on the line directly above.
+func (ws *waiverSet) waived(pass string, pos token.Position) bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if w := ws.lookup(pass, pos); w != nil {
+		w.Used = true
+		return true
 	}
 	return false
 }
@@ -127,22 +150,22 @@ func (ws *waiverSet) waived(pass string, pos token.Position) bool {
 // need to know a site is annotated (e.g. a waived //ispy:ordered range is
 // still a taint source) without claiming the waiver themselves.
 func (ws *waiverSet) hasWaiver(pass string, pos token.Position) bool {
-	lines := ws.byLine[pos.Filename]
-	for _, ln := range []int{pos.Line, pos.Line - 1} {
-		if w := lines[ln]; w != nil && w.Pass == pass {
-			return true
-		}
-	}
-	return false
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.lookup(pass, pos) != nil
 }
 
 // waive is the diagnostic-level form of waived: when a waiver covers the
 // finding it is recorded as suppressed (so -json can report it with
 // waived:true) and true is returned; otherwise the caller should emit it.
 func (ws *waiverSet) waive(d Diagnostic) bool {
-	if !ws.waived(d.Pass, d.Pos) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	w := ws.lookup(d.Pass, d.Pos)
+	if w == nil {
 		return false
 	}
+	w.Used = true
 	ws.suppressed = append(ws.suppressed, d)
 	return true
 }
@@ -150,12 +173,10 @@ func (ws *waiverSet) waive(d Diagnostic) bool {
 // diags returns malformed-directive and stale-waiver findings.
 func (ws *waiverSet) diags() []Diagnostic {
 	out := append([]Diagnostic(nil), ws.bad...)
-	if ws.reportUnused {
-		for _, w := range ws.all {
-			if !w.Used {
-				out = append(out, Diagnostic{Pos: w.Pos, Pass: PassWaiver, Advisory: true,
-					Message: fmt.Sprintf("unused //ispy:%s waiver: nothing to waive on this line", w.Directive)})
-			}
+	for _, w := range ws.all {
+		if !w.Used && (ws.reportFor == nil || ws.reportFor(w.Pass)) {
+			out = append(out, Diagnostic{Pos: w.Pos, Pass: PassWaiver, Advisory: true,
+				Message: fmt.Sprintf("unused //ispy:%s waiver: nothing to waive on this line", w.Directive)})
 		}
 	}
 	sort.Slice(ws.all, func(i, j int) bool {

@@ -1,6 +1,8 @@
 #!/bin/sh
 # The repository gate: gofmt, vet, ispy-vet (the repo's determinism &
-# invariant analyzer), build, race-enabled tests, a short fuzz pass over the
+# invariant analyzer), the injected-regression vet smoke (grafted
+# stale-key and impure-response regressions must fail the analyzer),
+# build, race-enabled tests, a short fuzz pass over the
 # trace decoders, a CLI-level fault-injection smoke, the ispyd chaos soak
 # (graceful degradation under injected faults), and the bench-script
 # smoke — which both validates the JSON and gates throughput against the
@@ -23,6 +25,8 @@ echo "== ispy-vet -strict ./..."
 go run ./cmd/ispy-vet -strict ./...
 echo "== ispy-vet -json smoke"
 go run ./cmd/ispy-vet -json ./... > /dev/null
+echo "== vet smoke (injected keysound/purity regressions must fail the gate)"
+go test -run 'TestInjectedRegressions/(keysound|purity)' ./internal/vetting
 echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
